@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark measures two things:
+
+- **wall time** of running the simulation (pytest-benchmark's number:
+  the cost of *this implementation*), and
+- **simulated metrics** (messages, bytes, sim-seconds, placement
+  quality): the protocol-level results that correspond to the paper's
+  claims.  These print as a table (uncaptured) and land in
+  ``benchmark.extra_info`` so ``--benchmark-json`` keeps them.
+
+EXPERIMENTS.md records the tables produced here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def report(capsys, title: str, headers: Sequence[str],
+           rows: Sequence[Sequence], note: str = "") -> None:
+    """Print an experiment table straight to the terminal."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    with capsys.disabled():
+        print(f"\n  == {title} ==")
+        print("  " + "  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+        print("  " + "  ".join("-" * w for w in widths))
+        for row in str_rows:
+            print("  " + "  ".join(c.ljust(w)
+                                   for c, w in zip(row, widths)))
+        if note:
+            print(f"  ({note})")
+        print()
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def stash(benchmark, **info) -> None:
+    """Attach experiment metrics to the benchmark record."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

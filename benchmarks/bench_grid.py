@@ -1,0 +1,98 @@
+"""C9 — grid computing: aggregation speedup + volunteer churn (§3.2).
+
+"Components whose instances must be split and distributed into the
+network to perform a highly-parallel task" — we measure the speedup of
+the data-parallel Monte-Carlo component as workers grow, and the
+overhead volunteer churn imposes on a farmed computation.
+"""
+
+import math
+
+from _harness import report, stash
+from repro.container.aggregation import AggregationCoordinator
+from repro.grid import (
+    IdleMonitor,
+    MonteCarloPiExecutor,
+    VolunteerAgent,
+    VolunteerMaster,
+    montecarlo_package,
+)
+from repro.sim.topology import SERVER, star
+from repro.testing import SimRig
+
+SAMPLES = 2_000_000
+
+
+def aggregate(workers: int) -> tuple[float, float]:
+    rig = SimRig(star(16, hub_profile=SERVER), seed=1)
+    rig.node("hub").install_package(montecarlo_package())
+    coordinator = AggregationCoordinator(rig.node("hub"))
+    t0 = rig.env.now
+    estimate = rig.run(until=coordinator.run(
+        "MonteCarloPi", [f"h{i}" for i in range(workers)],
+        {"total_samples": SAMPLES, "base_seed": 3}))
+    return rig.env.now - t0, estimate
+
+
+def test_aggregation_speedup(benchmark, capsys):
+    rows = []
+    times = {}
+    for workers in (1, 2, 4, 8, 16):
+        elapsed, estimate = aggregate(workers)
+        times[workers] = elapsed
+        speedup = times[1] / elapsed
+        rows.append([workers, f"{elapsed:.2f} s", f"{speedup:.1f}x",
+                     f"{speedup/workers*100:.0f}%",
+                     f"{estimate:.4f}"])
+    benchmark.pedantic(lambda: aggregate(4), rounds=1, iterations=1)
+    report(capsys, f"C9a: Monte-Carlo pi, {SAMPLES:,} samples, "
+                   "split/gather aggregation",
+           ["workers", "sim time", "speedup", "efficiency",
+            "pi estimate"], rows,
+           note="near-linear until coordination overheads bite")
+    assert times[8] < times[1] / 4
+    stash(benchmark, **{f"t{w}": t for w, t in times.items()})
+
+
+def volunteer_run(churny: bool, seed: int = 5):
+    rig = SimRig(star(10, hub_profile=SERVER), seed=seed)
+    hub = rig.node("hub")
+    hub.install_package(montecarlo_package())
+    master = VolunteerMaster(hub, "MonteCarloPi", shard_timeout=30.0)
+    if churny:
+        mean_busy, mean_idle = 8.0, 15.0
+    else:
+        mean_busy, mean_idle = 1e9, 1e9
+    for i in range(10):
+        node = rig.node(f"h{i}")
+        monitor = IdleMonitor(node, rig.rngs.stream(f"idle.{i}"),
+                              mean_busy=mean_busy, mean_idle=mean_idle)
+        VolunteerAgent(node, monitor, master.ior)
+    # heavy shards: ~5 sim-seconds each on a desktop, so user churn
+    # genuinely interleaves with the computation
+    shards = [{"samples": 2_000_000, "seed": i} for i in range(20)]
+    t0 = rig.env.now
+    partials = rig.run(until=master.submit(shards))
+    estimate = MonteCarloPiExecutor.merge_values(partials)
+    return rig.env.now - t0, estimate, master.requeues
+
+
+def test_volunteer_churn_overhead(benchmark, capsys):
+    stable_t, stable_pi, stable_rq = volunteer_run(False)
+    churn_t, churn_pi, churn_rq = volunteer_run(True)
+    benchmark.pedantic(lambda: volunteer_run(False),
+                       rounds=1, iterations=1)
+    report(capsys, "C9b: volunteer computing, 20 shards over 10 "
+                   "workstations",
+           ["pool", "completion (sim)", "requeues", "pi"], [
+               ["all idle, no churn", f"{stable_t:.1f} s", stable_rq,
+                f"{stable_pi:.4f}"],
+               ["users come and go", f"{churn_t:.1f} s", churn_rq,
+                f"{churn_pi:.4f}"],
+           ],
+           note="churn slows completion but never corrupts the result; "
+                "shards from withdrawn volunteers are re-queued")
+    assert abs(stable_pi - math.pi) < 0.01
+    assert abs(churn_pi - math.pi) < 0.01
+    assert churn_t >= stable_t
+    stash(benchmark, stable_t=stable_t, churn_t=churn_t)

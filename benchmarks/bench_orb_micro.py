@@ -1,0 +1,129 @@
+"""C1 — "Simplicity and performance ... it must be lightweight" (§2 R1).
+
+ORB microbenchmarks: CDR marshalling throughput, end-to-end invocation
+cost (wall time per simulated call), and the simulated-time latency of
+a LAN invocation as argument size grows.
+"""
+
+import pytest
+
+from _harness import report, stash
+from repro.orb.cdr import CDRDecoder, CDREncoder, decode_value, encode_value
+from repro.orb.core import InterfaceDef, ORB, Servant, op
+from repro.orb.typecodes import (
+    sequence_tc,
+    struct_tc,
+    tc_double,
+    tc_long,
+    tc_octetseq,
+    tc_string,
+)
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+from repro.sim.topology import SERVER, star
+
+POINT = struct_tc("Point", [("x", tc_double), ("y", tc_double)])
+SAMPLE_TC = struct_tc("Sample", [
+    ("id", tc_long),
+    ("name", tc_string),
+    ("path", sequence_tc(POINT)),
+])
+SAMPLE = {
+    "id": 42,
+    "name": "trajectory-0042",
+    "path": [{"x": float(i), "y": float(i) * 0.5} for i in range(16)],
+}
+
+ECHO = InterfaceDef("IDL:bench/Echo:1.0", "Echo", operations=[
+    op("echo", [("s", SAMPLE_TC)], SAMPLE_TC),
+    op("blob", [("b", tc_octetseq)], tc_octetseq),
+])
+
+
+class EchoServant(Servant):
+    _interface = ECHO
+
+    def echo(self, s):
+        return s
+
+    def blob(self, b):
+        return b
+
+
+def make_rig():
+    env = Environment()
+    net = Network(env, star(1, hub_profile=SERVER))
+    server = ORB(env, net, "hub")
+    client = ORB(env, net, "h0")
+    ior = server.adapter("root").activate(EchoServant())
+    return env, net, client, ior
+
+
+def test_cdr_marshal_throughput(benchmark, capsys):
+    def marshal():
+        enc = CDREncoder()
+        for _ in range(100):
+            encode_value(enc, SAMPLE_TC, SAMPLE)
+        return enc.getvalue()
+
+    data = benchmark(marshal)
+    per_value = len(data) // 100
+    mbps = per_value * 100 / benchmark.stats["mean"] / 1e6
+    report(capsys, "C1a: CDR marshalling", ["metric", "value"], [
+        ["encoded size (struct w/ 16-point path)", f"{per_value} B"],
+        ["throughput", f"{mbps:.1f} MB/s"],
+    ])
+    stash(benchmark, encoded_bytes=per_value, mb_per_s=mbps)
+
+
+def test_cdr_unmarshal_throughput(benchmark):
+    enc = CDREncoder()
+    for _ in range(100):
+        encode_value(enc, SAMPLE_TC, SAMPLE)
+    wire = enc.getvalue()
+
+    def unmarshal():
+        dec = CDRDecoder(wire)
+        return [decode_value(dec, SAMPLE_TC) for _ in range(100)]
+
+    values = benchmark(unmarshal)
+    assert values[0] == SAMPLE
+
+
+def test_invocation_wall_cost(benchmark, capsys):
+    """Wall-clock cost per simulated remote invocation (impl overhead)."""
+    env, net, client, ior = make_rig()
+    stub = client.stub(ior, ECHO)
+
+    def do_calls():
+        for _ in range(50):
+            client.sync(stub.echo(SAMPLE))
+
+    benchmark.pedantic(do_calls, rounds=3, iterations=1, warmup_rounds=1)
+    per_call_us = benchmark.stats["mean"] / 50 * 1e6
+    report(capsys, "C1b: invocation implementation cost",
+           ["metric", "value"],
+           [["wall time per simulated call", f"{per_call_us:.0f} us"]])
+    stash(benchmark, per_call_us=per_call_us)
+
+
+def test_invocation_sim_latency(benchmark, capsys):
+    """Simulated LAN latency per call vs. payload size."""
+    rows = []
+    for size in (0, 1_000, 10_000, 100_000):
+        env, net, client, ior = make_rig()
+        stub = client.stub(ior, ECHO)
+        t0 = env.now
+        client.sync(stub.blob(b"x" * size))
+        rows.append([f"{size} B", f"{(env.now - t0) * 1000:.3f} ms"])
+
+    def run_one():
+        env, net, client, ior = make_rig()
+        client.sync(client.stub(ior, ECHO).blob(b"x" * 1000))
+        return env.now
+
+    sim_latency = benchmark(run_one)
+    report(capsys, "C1c: simulated LAN invocation latency vs payload",
+           ["payload", "round-trip (sim)"], rows,
+           note="100 Mb/s LAN, request+reply both cross the wire")
+    stash(benchmark, sim_latency_1k=sim_latency)

@@ -1,0 +1,108 @@
+"""C12 — the reflective port model (§2.4.2).
+
+"In contrast to CCM, the set of external properties of a component is
+not fixed and may change at run-time.  ...  CORBA-LC offers operations
+which allow modifying the set of ports a component exposes."
+
+Measured: the cost of a reflective port mutation, and the latency until
+a remotely-added facet is visible through the node's Component Registry
+and through the Distributed Registry's views.
+"""
+
+from _harness import report, stash
+from repro.components.ports import FacetPort
+from repro.registry.groups import DistributedRegistry, RegistryConfig
+from repro.registry.view import NodeView
+from repro.testing import (
+    COUNTER_IFACE,
+    counter_package,
+    star_rig,
+)
+from repro.testing import _CounterFacet
+
+INTERVAL = 2.0
+
+
+def test_port_mutation_cost(benchmark, capsys):
+    rig = star_rig(1)
+    hub = rig.node("hub")
+    hub.install_package(counter_package())
+    inst = hub.container.create_instance("Counter")
+    counter = [0]
+
+    def mutate():
+        name = f"extra{counter[0]}"
+        counter[0] += 1
+        servant = _CounterFacet(inst.executor)
+        ior = hub.orb.adapter("components").activate(
+            servant, key=f"{inst.instance_id}.{name}")
+        inst.ports.add(FacetPort(name, COUNTER_IFACE.repo_id, servant,
+                                 ior))
+        inst.ports.remove(name)
+        hub.orb.adapter("components").deactivate(
+            f"{inst.instance_id}.{name}")
+
+    benchmark(mutate)
+    report(capsys, "C12a: reflective port add+remove",
+           ["metric", "value"], [
+               ["mutations performed", counter[0]],
+               ["registry generation",
+                hub.registry.generation],
+           ],
+           note="every mutation bumps the registry generation, so "
+                "views and visual builders stay current")
+    assert hub.registry.generation >= counter[0]
+    stash(benchmark, mutations=counter[0])
+
+
+def test_new_port_visibility(benchmark, capsys):
+    """How long until a run-time-added facet shows up in views?"""
+    def once():
+        rig = star_rig(3, seed=6)
+        hub = rig.node("hub")
+        hub.install_package(counter_package())
+        dr = DistributedRegistry(
+            rig.nodes, RegistryConfig(update_interval=INTERVAL))
+        dr.deploy({"g0": rig.topology.host_ids()})
+        rig.run(until=dr.settle_time())
+        inst = hub.container.create_instance("Counter")
+
+        # add a brand-new facet at run time
+        t_add = rig.env.now
+        servant = _CounterFacet(inst.executor)
+        ior = hub.orb.adapter("components").activate(
+            servant, key=f"{inst.instance_id}.extra")
+        inst.ports.add(FacetPort("extra", COUNTER_IFACE.repo_id,
+                                 servant, ior))
+
+        # local registry reflects it immediately
+        local = any(p.name == "extra"
+                    for info in hub.registry.instances()
+                    for p in info.ports)
+
+        # remote view: visible once the next soft-state report lands
+        mrm = dr.groups["g0"].agents[0]
+
+        def visible():
+            rec = mrm.members.get("hub")
+            if rec is None:
+                return False
+            return sum(1 for rid, _ in rec.view.running
+                       if rid == COUNTER_IFACE.repo_id) >= 2
+        while not visible():
+            rig.run(until=rig.env.now + 0.1)
+        return local, rig.env.now - t_add
+
+    local, remote_latency = benchmark.pedantic(once, rounds=2,
+                                               iterations=1)
+    report(capsys, "C12b: run-time port visibility",
+           ["view", "latency"], [
+               ["node Component Registry", "immediate (same event)"],
+               ["Distributed Registry (MRM view)",
+                f"{remote_latency:.2f} s"],
+           ],
+           note=f"bounded by the soft-state interval ({INTERVAL:.0f}s); "
+                "instances adapt their external properties while running")
+    assert local
+    assert remote_latency <= INTERVAL + 0.5
+    stash(benchmark, remote_latency=remote_latency)

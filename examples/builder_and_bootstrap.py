@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""The §5 future-work tooling, working: palette → builder → bootstrap.
+
+1. A :class:`NetworkPalette` gathers what the network offers (the data
+   a visual builder would render).
+2. An :class:`AssemblyBuilder` wires an application from that palette,
+   type-checking every connection.
+3. The assembly is wrapped into a **bootstrap component**
+   (§2.4.4: "applications are just special components"), installed on
+   one node, and instantiated — the single instance deploys the whole
+   application through remote Node services.
+4. A :class:`UsageMeter` shows the pay-per-use accounting of §2.1.1.
+
+Run:  python examples/builder_and_bootstrap.py
+"""
+
+import dataclasses
+
+from repro.cscw import (
+    display_package,
+    gui_part_package,
+    whiteboard_package,
+)
+from repro.deployment.bootstrap import application_package
+from repro.packaging.package import ComponentPackage, PackageBuilder
+from repro.sim.topology import SERVER, star
+from repro.testing import SimRig
+from repro.tools import AssemblyBuilder, NetworkPalette, UsageMeter
+
+
+def pay_per_use(package: ComponentPackage,
+                cost: float) -> ComponentPackage:
+    """Re-license a package as pay-per-use (vendor would do this)."""
+    soft = dataclasses.replace(package.software, license="pay-per-use",
+                               cost_per_use=cost)
+    builder = PackageBuilder(soft, package.component)
+    for path in package.members():
+        if path.startswith("bin/"):
+            builder.add_binary(path, package.member(path))
+    return ComponentPackage(builder.build())
+
+
+def main():
+    rig = SimRig(star(3, hub_profile=SERVER))
+    hub = rig.node("hub")
+
+    # Publish components across the network; the whiteboard is a
+    # commercial pay-per-use component in this story.
+    hub.install_package(pay_per_use(whiteboard_package(), cost=0.50))
+    hub.install_package(gui_part_package())
+    rig.node("h0").install_package(display_package())
+    meters = {host: UsageMeter(node) for host, node in rig.nodes.items()}
+
+    # 1. the palette: what a visual builder would show the user
+    palette = rig.run(until=NetworkPalette.gather(
+        rig.node("h2"), rig.topology.host_ids()))
+    print(palette.render())
+
+    # 2. build the application, type-checked against the descriptors
+    builder = AssemblyBuilder("board-app")
+    builder.register_package(whiteboard_package())
+    builder.register_package(gui_part_package())
+    builder.register_package(display_package())
+    assembly = (builder
+                .add("board", "Whiteboard")
+                .add("gui", "BoardGui")
+                .add("screen", "Display")
+                .connect("gui", "display", "screen", "graphics")
+                .subscribe("gui", "board", "board", "changes")
+                .build())
+    print(f"\nbuilt assembly {assembly.name!r}: "
+          f"{len(assembly.instances)} instances, "
+          f"{len(assembly.connections)} connections (validated)")
+
+    # 3. ship it as a bootstrap component and light it up from h2
+    app_pkg = application_package(assembly)
+    h2 = rig.node("h2")
+    h2.install_package(app_pkg)
+    bootstrap = h2.container.create_instance(app_pkg.name)
+    rig.run(until=rig.env.now + 3.0)
+    app = bootstrap.executor.application
+    if bootstrap.executor.deploy_error:
+        raise SystemExit(f"deploy failed: {bootstrap.executor.deploy_error}")
+    print(f"bootstrap instance on h2 deployed the app: {app.placement}")
+
+    # 4. the pay-per-use whiteboard was metered wherever it landed
+    board_host = app.placement["board"]
+    print(f"\n{meters[board_host].invoice()}")
+
+    # teardown through the bootstrap instance
+    h2.container.destroy_instance(bootstrap.instance_id)
+    rig.run(until=rig.env.now + 2.0)
+    print(f"\nafter bootstrap destruction, app torn down: "
+          f"{app.torn_down}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,134 @@
+#!/usr/bin/env python
+"""Figure 2, live: a collaborative whiteboard across three users.
+
+A server and two workstations share a whiteboard.  The shared model
+lives wherever the run-time deployer puts it; each user's GUI part
+renders strokes onto the *local* Display component ("GUI components can
+be considered within the modular design of the application", §3.1).
+Midway, Bob's GUI part is replaced with a different renderer at run
+time — the presentation-layer swap the paper advertises.
+
+Run:  python examples/cscw_whiteboard.py
+"""
+
+from repro.cscw import (
+    SURFACE_IFACE,
+    display_package,
+    gui_part_package,
+    whiteboard_package,
+)
+from repro.deployment import Deployer, RuntimePlanner
+from repro.sim.topology import DESKTOP, LAN, SERVER, Topology
+from repro.testing import SimRig
+from repro.xmlmeta.descriptors import (
+    AssemblyConnection,
+    AssemblyDescriptor,
+    AssemblyInstance,
+)
+
+
+def make_office() -> SimRig:
+    topo = Topology()
+    topo.add_host("server", SERVER)
+    topo.add_host("alice", DESKTOP)
+    topo.add_host("bob", DESKTOP)
+    for a, b in (("server", "alice"), ("server", "bob"), ("alice", "bob")):
+        topo.add_link(a, b, LAN)
+    return SimRig(topo)
+
+
+def stroke(author, x0, y0, x1, y1, color):
+    return {"author": author, "x0": x0, "y0": y0, "x1": x1, "y1": y1,
+            "color": color}
+
+
+def main():
+    rig = make_office()
+    server = rig.node("server")
+
+    # Components are published on the server; displays are installed on
+    # every user's machine (the display is pinned hardware).
+    server.install_package(whiteboard_package())
+    server.install_package(gui_part_package(style="wireframe"))
+    server.install_package(gui_part_package(style="filled",
+                                            name="FilledGui"))
+    displays = {}
+    for user in ("alice", "bob"):
+        rig.node(user).install_package(display_package())
+        displays[user] = rig.node(user).container.create_instance(
+            "Display")
+
+    # The application is an assembly: instances + connections, deployed
+    # at RUN time by the planner (no hosts named!).
+    assembly = AssemblyDescriptor(
+        name="whiteboard",
+        instances=[
+            AssemblyInstance("board", "Whiteboard"),
+            AssemblyInstance("gui_alice", "BoardGui"),
+            AssemblyInstance("gui_bob", "BoardGui"),
+        ],
+        connections=[
+            AssemblyConnection("gui_alice", "board", "board", "changes",
+                               kind="event"),
+            AssemblyConnection("gui_bob", "board", "board", "changes",
+                               kind="event"),
+        ],
+    )
+    deployer = Deployer(rig.nodes, RuntimePlanner(),
+                        coordinator_host="server")
+    app = rig.run(until=deployer.deploy(assembly))
+    print("run-time placement:", app.placement)
+
+    # Wire each GUI part to its user's local display.
+    for user, gui in (("alice", "gui_alice"), ("bob", "gui_bob")):
+        agent = server.service_stub(app.placement[gui], "container")
+        rig.run(until=agent.connect(
+            app.instance_id(gui), "display",
+            displays[user].ports.facet("graphics").ior.to_string()))
+
+    surface = server.orb.stub(app.facet_ior("board", "surface"),
+                              SURFACE_IFACE)
+
+    # Alice and Bob draw.
+    server.orb.sync(surface.add_stroke(
+        stroke("alice", 0, 0, 4, 4, "red")))
+    server.orb.sync(surface.add_stroke(
+        stroke("bob", 4, 0, 0, 4, "blue")))
+    rig.run(until=rig.env.now + 0.5)
+    for user in ("alice", "bob"):
+        ex = displays[user].executor
+        print(f"{user}'s display painted {ex.drawn} strokes: "
+              f"{list(ex.windows.values())[0]}")
+
+    # Run-time presentation swap: replace Bob's GUI part with the
+    # filled renderer — new instance, same wiring, old one destroyed.
+    print("\nreplacing bob's GUI part with the 'filled' renderer...")
+    bob_host = app.placement["gui_bob"]
+    agent = server.service_stub(bob_host, "container")
+    rig.run(until=agent.destroy_instance(app.instance_id("gui_bob")))
+    from repro.components.reflection import InstanceInfo
+    info = InstanceInfo.from_value(rig.run(until=agent.create_instance(
+        "FilledGui", "", "whiteboard.gui_bob2")))
+    rig.run(until=agent.connect(
+        info.instance_id, "display",
+        displays["bob"].ports.facet("graphics").ior.to_string()))
+    from repro.node.events import EventBroker
+    channel = EventBroker.channel_ior_on(app.placement["board"],
+                                         "cscw.stroke")
+    rig.run(until=agent.subscribe(info.instance_id, "board",
+                                  channel.to_string()))
+
+    server.orb.sync(surface.add_stroke(
+        stroke("alice", 2, 2, 3, 3, "green")))
+    rig.run(until=rig.env.now + 0.5)
+    last = list(displays["bob"].executor.windows.values())[-1][-1]
+    print(f"bob's display now renders: {last!r}")
+
+    strokes = server.orb.sync(surface.strokes())
+    print(f"\nboard holds {len(strokes)} strokes; "
+          f"sim time {rig.env.now:.3f}s, "
+          f"wire bytes {int(rig.metrics.get('net.bytes'))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""The CORBA-LC component model (the paper's primary contribution).
+
+Components are "binary independent units, with explicitly defined
+dependencies and offerings, which can be used to compose applications"
+(§2.1).  This package provides their runtime shape:
+
+- :mod:`repro.components.executor` — what component developers write:
+  the executor callback class and the container-provided context (the
+  "agreed local interfaces" of §2.2), including the state
+  externalization hooks migration relies on.
+- :mod:`repro.components.model` — :class:`ComponentClass`, the runtime
+  binding of an installed package to loadable executable content.
+- :mod:`repro.components.ports` — the reflective port set: facets,
+  receptacles, event sources/sinks.  Port sets can change at run time
+  (§2.4.2), and mutations are observable so registries stay current.
+- :mod:`repro.components.factory` — auto-generated factory servants
+  (§2.1.2 "Factory properties ... allows to automatically generate the
+  factory code").
+- :mod:`repro.components.reflection` — introspection snapshots the
+  Component Registry serves to the network and to builder tools.
+"""
+
+from repro.components.executor import (
+    ComponentContext,
+    ComponentExecutor,
+    StatefulMixin,
+)
+from repro.components.model import ComponentClass
+from repro.components.ports import (
+    EventSinkPort,
+    EventSourcePort,
+    FacetPort,
+    PortSet,
+    ReceptaclePort,
+)
+from repro.components.factory import FACTORY_IFACE, ComponentFactoryServant
+from repro.components.reflection import (
+    ConnectionInfo,
+    InstanceInfo,
+    PortInfo,
+)
+
+__all__ = [
+    "ComponentContext",
+    "ComponentExecutor",
+    "StatefulMixin",
+    "ComponentClass",
+    "PortSet",
+    "FacetPort",
+    "ReceptaclePort",
+    "EventSourcePort",
+    "EventSinkPort",
+    "FACTORY_IFACE",
+    "ComponentFactoryServant",
+    "InstanceInfo",
+    "PortInfo",
+    "ConnectionInfo",
+]

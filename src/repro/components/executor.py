@@ -1,0 +1,194 @@
+"""The component/container contract: executors and contexts.
+
+"Instances ask the container for the required services and it in turn
+informs the instance of its environment (its context).  ...  the
+component/container dialog is based on agreed local interfaces" (§2.2).
+
+A component implementation subclasses :class:`ComponentExecutor`.  The
+container calls the lifecycle hooks; the executor calls back into its
+:class:`ComponentContext` for everything it needs from the framework
+(connections, events, component requests, CPU accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Protocol, runtime_checkable
+
+from repro.orb.core import Servant
+from repro.util.errors import ReproError
+
+
+class LifecycleError(ReproError):
+    """An executor hook was invoked in an invalid state."""
+
+
+@runtime_checkable
+class ComponentContext(Protocol):
+    """What the container promises every instance (agreed local interface).
+
+    The concrete implementation lives in the container; executors only
+    see this protocol.
+    """
+
+    @property
+    def instance_id(self) -> str:
+        """Unique id of this instance."""
+        ...
+
+    @property
+    def host_id(self) -> str:
+        """Host the instance currently runs on (changes after migration)."""
+        ...
+
+    def now(self) -> float:
+        """Current simulated time."""
+        ...
+
+    def connection(self, port_name: str):
+        """Typed stub for the peer connected to a receptacle, or None."""
+        ...
+
+    def emit(self, port_name: str, value: Any, typecode=None) -> None:
+        """Push an event through an event-source port."""
+        ...
+
+    def request_component(self, repo_id: str, qos=None):
+        """Ask the network for a component instance providing *repo_id*.
+
+        Returns a kernel Event that yields the facet IOR (the
+        network-wide dependency resolution of §2.4.3).
+        """
+        ...
+
+    def charge_cpu(self, work_units: float):
+        """Account *work_units* of computation; returns a kernel Event
+        that fires when the work is done at this host's speed."""
+        ...
+
+    def schedule(self, delay: float):
+        """A kernel timeout event for *delay* simulated seconds."""
+        ...
+
+    def spawn(self, generator):
+        """Run *generator* as a simulation process tied to the instance."""
+        ...
+
+
+class ComponentExecutor:
+    """Base class for component implementations.
+
+    Lifecycle (driven by the container)::
+
+        set_context -> activate -> [passivate -> activate]* -> remove
+
+    Migration additionally uses :meth:`get_state` / :meth:`set_state`
+    around a passivate/activate pair on different hosts ("the container
+    can ask the component instance ... to resume its execution returning
+    its internal state", §2.2).
+    """
+
+    def __init__(self) -> None:
+        self.context: Optional[ComponentContext] = None
+        self._active = False
+
+    # -- wiring ----------------------------------------------------------
+    def set_context(self, context: ComponentContext) -> None:
+        """Container injects the context before any other hook."""
+        self.context = context
+
+    # -- lifecycle hooks ----------------------------------------------------
+    @property
+    def is_active(self) -> bool:
+        return self._active
+
+    def activate(self) -> None:
+        """Instance begins (or resumes) execution."""
+        if self._active:
+            raise LifecycleError("activate() on an active instance")
+        self._active = True
+        self.on_activate()
+
+    def passivate(self) -> None:
+        """Instance execution is suspended (e.g. before migration)."""
+        if not self._active:
+            raise LifecycleError("passivate() on an inactive instance")
+        self._active = False
+        self.on_passivate()
+
+    def remove(self) -> None:
+        """Instance is being destroyed."""
+        if self._active:
+            self.passivate()
+        self.on_remove()
+
+    # -- developer overrides ---------------------------------------------------
+    def on_activate(self) -> None:
+        """Override: start timers/processes, announce readiness."""
+
+    def on_passivate(self) -> None:
+        """Override: quiesce; stop issuing new work."""
+
+    def on_remove(self) -> None:
+        """Override: final cleanup."""
+
+    def on_event(self, port_name: str, value: Any) -> None:
+        """Override: an event arrived on the named sink port."""
+
+    def create_facet(self, port_name: str) -> Servant:
+        """Override: return the servant implementing a provided port.
+
+        Called once per facet at instance creation (and again after
+        migration re-incarnates the instance).
+        """
+        raise LifecycleError(
+            f"{type(self).__name__} declares facet {port_name!r} but does "
+            "not implement create_facet()"
+        )
+
+    # -- state externalization (migration / replication) ---------------------------
+    def get_state(self) -> dict:
+        """Return the instance state as plain data (JSON-able).
+
+        The default treats the component as stateless.  Stateful
+        components override both state hooks (or use
+        :class:`StatefulMixin`).
+        """
+        return {}
+
+    def set_state(self, state: dict) -> None:
+        """Restore state captured by :meth:`get_state` (default: ignore)."""
+
+    # -- aggregation (data-parallel components, §2.1.1) ------------------------------
+    def split(self, n_ways: int) -> list[dict]:
+        """Partition pending work into *n_ways* shards (state dicts).
+
+        Only meaningful for components whose descriptor declares
+        ``aggregation="data-parallel"``.
+        """
+        raise LifecycleError(
+            f"{type(self).__name__} does not support aggregation"
+        )
+
+    def merge(self, partials: list[Any]) -> Any:
+        """Gather partial results into the complete solution."""
+        raise LifecycleError(
+            f"{type(self).__name__} does not support aggregation"
+        )
+
+
+class StatefulMixin:
+    """State externalization over a declared attribute list.
+
+    Subclasses set ``STATE_ATTRS``; get/set_state then copy exactly
+    those attributes, which keeps migration payloads explicit.
+    """
+
+    STATE_ATTRS: tuple[str, ...] = ()
+
+    def get_state(self) -> dict:
+        return {name: getattr(self, name) for name in self.STATE_ATTRS}
+
+    def set_state(self, state: dict) -> None:
+        for name in self.STATE_ATTRS:
+            if name in state:
+                setattr(self, name, state[name])

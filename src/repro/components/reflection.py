@@ -1,0 +1,170 @@
+"""Introspection snapshots served by the Reflection Architecture.
+
+The Component Registry provides "(a) the set of installed components,
+(b) the set of component instances running in the node and the
+properties of each, and (c) how those instances are connected via ports
+(assemblies)" (§2.4.2) — both to the network (for distributed queries)
+and "by visual builder tools to offer to the user the palette of
+available components".
+
+These records are plain structs with CDR TypeCodes, so registry
+operations return them across the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.orb.typecodes import (
+    sequence_tc,
+    struct_tc,
+    tc_boolean,
+    tc_double,
+    tc_string,
+)
+
+PORT_INFO_TC = struct_tc("PortInfo", [
+    ("name", tc_string),
+    ("kind", tc_string),
+    ("type_id", tc_string),       # interface repo id or event kind
+    ("peer", tc_string),          # stringified IOR / channel, "" if none
+], repo_id="IDL:corbalc/Framework/PortInfo:1.0")
+
+INSTANCE_INFO_TC = struct_tc("InstanceInfo", [
+    ("instance_id", tc_string),
+    ("component", tc_string),
+    ("version", tc_string),
+    ("host", tc_string),
+    ("active", tc_boolean),
+    ("ports", sequence_tc(PORT_INFO_TC)),
+], repo_id="IDL:corbalc/Framework/InstanceInfo:1.0")
+
+COMPONENT_INFO_TC = struct_tc("ComponentInfo", [
+    ("name", tc_string),
+    ("version", tc_string),
+    ("vendor", tc_string),
+    ("mobility", tc_string),
+    ("provides", sequence_tc(tc_string)),   # provided repo ids
+    ("uses", sequence_tc(tc_string)),       # required repo ids
+    ("qos_cpu", tc_double),
+    ("qos_memory", tc_double),
+    ("qos_bandwidth", tc_double),
+], repo_id="IDL:corbalc/Framework/ComponentInfo:1.0")
+
+CONNECTION_INFO_TC = struct_tc("ConnectionInfo", [
+    ("instance_id", tc_string),
+    ("port", tc_string),
+    ("peer", tc_string),
+], repo_id="IDL:corbalc/Framework/ConnectionInfo:1.0")
+
+
+@dataclass(frozen=True)
+class PortInfo:
+    name: str
+    kind: str
+    type_id: str
+    peer: str = ""
+
+    def to_value(self) -> dict:
+        return {"name": self.name, "kind": self.kind,
+                "type_id": self.type_id, "peer": self.peer}
+
+    @classmethod
+    def from_value(cls, value: dict) -> "PortInfo":
+        return cls(**value)
+
+
+@dataclass(frozen=True)
+class InstanceInfo:
+    instance_id: str
+    component: str
+    version: str
+    host: str
+    active: bool
+    ports: tuple[PortInfo, ...] = ()
+
+    def to_value(self) -> dict:
+        return {
+            "instance_id": self.instance_id,
+            "component": self.component,
+            "version": self.version,
+            "host": self.host,
+            "active": self.active,
+            "ports": [p.to_value() for p in self.ports],
+        }
+
+    @classmethod
+    def from_value(cls, value: dict) -> "InstanceInfo":
+        return cls(
+            instance_id=value["instance_id"],
+            component=value["component"],
+            version=value["version"],
+            host=value["host"],
+            active=value["active"],
+            ports=tuple(PortInfo.from_value(p) for p in value["ports"]),
+        )
+
+
+@dataclass(frozen=True)
+class ComponentInfo:
+    """Installed-component summary used by distributed queries."""
+
+    name: str
+    version: str
+    vendor: str
+    mobility: str
+    provides: tuple[str, ...]
+    uses: tuple[str, ...]
+    qos_cpu: float = 0.0
+    qos_memory: float = 0.0
+    qos_bandwidth: float = 0.0
+
+    def to_value(self) -> dict:
+        return {
+            "name": self.name, "version": self.version,
+            "vendor": self.vendor, "mobility": self.mobility,
+            "provides": list(self.provides), "uses": list(self.uses),
+            "qos_cpu": self.qos_cpu, "qos_memory": self.qos_memory,
+            "qos_bandwidth": self.qos_bandwidth,
+        }
+
+    @classmethod
+    def from_value(cls, value: dict) -> "ComponentInfo":
+        return cls(
+            name=value["name"], version=value["version"],
+            vendor=value["vendor"], mobility=value["mobility"],
+            provides=tuple(value["provides"]), uses=tuple(value["uses"]),
+            qos_cpu=value["qos_cpu"], qos_memory=value["qos_memory"],
+            qos_bandwidth=value["qos_bandwidth"],
+        )
+
+    @classmethod
+    def from_package(cls, package) -> "ComponentInfo":
+        soft = package.software
+        comp = package.component
+        return cls(
+            name=soft.name,
+            version=str(soft.version),
+            vendor=soft.vendor,
+            mobility=soft.mobility,
+            provides=tuple(p.repo_id for p in comp.provides),
+            uses=tuple(p.repo_id for p in comp.required_components()),
+            qos_cpu=comp.qos.cpu_units,
+            qos_memory=comp.qos.memory_mb,
+            qos_bandwidth=comp.qos.bandwidth_bps,
+        )
+
+
+@dataclass(frozen=True)
+class ConnectionInfo:
+    instance_id: str
+    port: str
+    peer: str
+
+    def to_value(self) -> dict:
+        return {"instance_id": self.instance_id, "port": self.port,
+                "peer": self.peer}
+
+    @classmethod
+    def from_value(cls, value: dict) -> "ConnectionInfo":
+        return cls(**value)

@@ -1,0 +1,29 @@
+"""The container: run-time environment of component instances (§2.2).
+
+"Component instances are run within a run-time environment called a
+container.  Containers become the instances view of the world."  The
+container owns instance lifecycle, wires ports, enforces QoS admission
+through the Resource Manager, and implements the non-functional
+aspects the paper lists: activation/de-activation, migration
+(:mod:`repro.container.migration`), replication
+(:mod:`repro.container.replication`) and data-parallel aggregation
+(:mod:`repro.container.aggregation`).
+"""
+
+from repro.container.container import Container
+from repro.container.instance import ComponentInstance, InstanceState
+from repro.container.context import ContainerContext
+from repro.container.migration import MigrationEngine
+from repro.container.replication import ReplicaGroup, ReplicaManager
+from repro.container.aggregation import AggregationCoordinator
+
+__all__ = [
+    "Container",
+    "ComponentInstance",
+    "InstanceState",
+    "ContainerContext",
+    "MigrationEngine",
+    "ReplicaGroup",
+    "ReplicaManager",
+    "AggregationCoordinator",
+]

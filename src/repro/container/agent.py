@@ -1,0 +1,170 @@
+"""The Container Agent: node-to-node instance management.
+
+Remote face of the container used by the deployment planner (create an
+instance on a chosen node, wire a connection) and by the migration
+engine (incarnate a passivated instance with its externalized state).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.components.reflection import INSTANCE_INFO_TC, PORT_INFO_TC
+from repro.orb.core import InterfaceDef, Servant, make_exception_class, op
+from repro.orb.exceptions import NO_RESOURCES
+from repro.orb.ior import IOR
+from repro.orb.typecodes import (
+    except_tc,
+    sequence_tc,
+    struct_tc,
+    tc_octetseq,
+    tc_string,
+)
+from repro.xmlmeta.versions import VersionRange
+
+AGENT_ERROR_TC = except_tc(
+    "AgentError", [("reason", tc_string)],
+    repo_id="IDL:corbalc/Node/AgentError:1.0",
+)
+AgentError = make_exception_class("AgentError", AGENT_ERROR_TC)
+
+#: (port name, peer reference) pairs used to transfer wiring.
+WIRING_TC = struct_tc("Wiring", [
+    ("name", tc_string),
+    ("peer", tc_string),
+], repo_id="IDL:corbalc/Node/Wiring:1.0")
+
+CONTAINER_AGENT_IFACE = InterfaceDef(
+    "IDL:corbalc/Node/ContainerAgent:1.0",
+    "ContainerAgent",
+    operations=[
+        op("create_instance",
+           [("component", tc_string), ("versions", tc_string),
+            ("name", tc_string)],
+           INSTANCE_INFO_TC, raises=[AGENT_ERROR_TC], cpu_cost=1.0),
+        op("destroy_instance", [("instance_id", tc_string)],
+           raises=[AGENT_ERROR_TC]),
+        op("connect",
+           [("instance_id", tc_string), ("port", tc_string),
+            ("peer", tc_string)], raises=[AGENT_ERROR_TC]),
+        op("disconnect",
+           [("instance_id", tc_string), ("port", tc_string)],
+           raises=[AGENT_ERROR_TC]),
+        op("subscribe",
+           [("instance_id", tc_string), ("port", tc_string),
+            ("channel", tc_string)], raises=[AGENT_ERROR_TC]),
+        op("incarnate",
+           [("component", tc_string), ("versions", tc_string),
+            ("instance_id", tc_string), ("state", tc_octetseq),
+            ("receptacles", sequence_tc(WIRING_TC)),
+            ("subscriptions", sequence_tc(WIRING_TC))],
+           INSTANCE_INFO_TC, raises=[AGENT_ERROR_TC], cpu_cost=2.0),
+        op("get_state", [("instance_id", tc_string)], tc_octetseq,
+           raises=[AGENT_ERROR_TC]),
+        op("set_state", [("instance_id", tc_string),
+                         ("state", tc_octetseq)],
+           raises=[AGENT_ERROR_TC]),
+    ],
+)
+
+
+def dumps_state(state: dict) -> bytes:
+    """Externalized-state wire form (stands in for CDR valuetype)."""
+    return pickle.dumps(state, protocol=4)
+
+
+def loads_state(data: bytes) -> dict:
+    return pickle.loads(data)
+
+
+class ContainerAgentServant(Servant):
+    """Remote instance management on one node's container."""
+
+    _interface = CONTAINER_AGENT_IFACE
+
+    def __init__(self, node) -> None:
+        self.node = node
+
+    @property
+    def container(self):
+        return self.node.container
+
+    def create_instance(self, component: str, versions: str,
+                        name: str) -> dict:
+        try:
+            instance = self.container.create_instance(
+                component, requested_name=name or None,
+                versions=VersionRange(versions))
+        except NO_RESOURCES:
+            raise  # system exception travels as-is
+        except Exception as exc:
+            raise AgentError(str(exc)) from None
+        return instance.info().to_value()
+
+    def destroy_instance(self, instance_id: str) -> None:
+        try:
+            self.container.destroy_instance(instance_id)
+        except Exception as exc:
+            raise AgentError(str(exc)) from None
+
+    def connect(self, instance_id: str, port: str, peer: str) -> None:
+        try:
+            self.container.connect(instance_id, port, IOR.from_string(peer))
+        except Exception as exc:
+            raise AgentError(str(exc)) from None
+
+    def disconnect(self, instance_id: str, port: str) -> None:
+        try:
+            self.container.disconnect(instance_id, port)
+        except Exception as exc:
+            raise AgentError(str(exc)) from None
+
+    def subscribe(self, instance_id: str, port: str, channel: str) -> None:
+        try:
+            instance = self.container.find_instance(instance_id)
+            if instance is None:
+                raise AgentError(f"no instance {instance_id!r}")
+            self.container.subscribe_sink(instance, port,
+                                          IOR.from_string(channel))
+        except AgentError:
+            raise
+        except Exception as exc:
+            raise AgentError(str(exc)) from None
+
+    def incarnate(self, component: str, versions: str, instance_id: str,
+                  state: bytes, receptacles: list[dict],
+                  subscriptions: list[dict]) -> dict:
+        """Re-create a migrated instance here with its captured state."""
+        try:
+            instance = self.container.create_instance(
+                component, requested_name=instance_id,
+                versions=VersionRange(versions),
+                initial_state=loads_state(state))
+            for wiring in receptacles:
+                if wiring["peer"]:
+                    self.container.connect(
+                        instance_id, wiring["name"],
+                        IOR.from_string(wiring["peer"]))
+            for wiring in subscriptions:
+                if wiring["peer"]:
+                    self.container.subscribe_sink(
+                        instance, wiring["name"],
+                        IOR.from_string(wiring["peer"]))
+        except NO_RESOURCES:
+            raise
+        except Exception as exc:
+            raise AgentError(str(exc)) from None
+        return instance.info().to_value()
+
+    def get_state(self, instance_id: str) -> bytes:
+        """Externalize a running instance's state (replication sync)."""
+        instance = self.container.find_instance(instance_id)
+        if instance is None:
+            raise AgentError(f"no instance {instance_id!r}")
+        return dumps_state(instance.executor.get_state())
+
+    def set_state(self, instance_id: str, state: bytes) -> None:
+        instance = self.container.find_instance(instance_id)
+        if instance is None:
+            raise AgentError(f"no instance {instance_id!r}")
+        instance.executor.set_state(loads_state(state))

@@ -1,0 +1,104 @@
+"""The container-provided context: the instance's view of the world.
+
+Implements :class:`repro.components.executor.ComponentContext` — the
+agreed local interface of §2.2.  Every framework service an instance
+uses goes through here: connections, events, network-wide component
+requests, CPU accounting, timers and process spawning.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.components.ports import PortError
+from repro.orb.cdr import Any as CdrAny
+from repro.orb.typecodes import (
+    TypeCode,
+    tc_boolean,
+    tc_double,
+    tc_long,
+    tc_octetseq,
+    tc_string,
+)
+from repro.util.errors import ConfigurationError
+
+
+def infer_typecode(value: Any) -> TypeCode:
+    """Best-effort TypeCode for a bare Python value pushed as an event."""
+    if isinstance(value, bool):
+        return tc_boolean
+    if isinstance(value, int):
+        return tc_long
+    if isinstance(value, float):
+        return tc_double
+    if isinstance(value, str):
+        return tc_string
+    if isinstance(value, (bytes, bytearray)):
+        return tc_octetseq
+    raise ConfigurationError(
+        f"cannot infer a TypeCode for {type(value).__name__}; pass one"
+    )
+
+
+class ContainerContext:
+    """Concrete ComponentContext bound to one instance."""
+
+    def __init__(self, container, instance) -> None:
+        self._container = container
+        self._instance = instance
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def instance_id(self) -> str:
+        return self._instance.instance_id
+
+    @property
+    def host_id(self) -> str:
+        return self._instance.host_id
+
+    def now(self) -> float:
+        return self._container.env.now
+
+    # -- connections ----------------------------------------------------------
+    def connection(self, port_name: str):
+        """Typed stub for the receptacle's peer, or None if unconnected."""
+        receptacle = self._instance.ports.receptacle(port_name)
+        if not receptacle.connected:
+            return None
+        return receptacle.stub(self._container.orb)
+
+    # -- events ------------------------------------------------------------------
+    def emit(self, port_name: str, value: Any,
+             typecode: Optional[TypeCode] = None) -> None:
+        source = self._instance.ports.event_source(port_name)
+        if source.channel is None:
+            raise PortError(
+                f"event source {port_name!r} has no channel"
+            )
+        if isinstance(value, CdrAny):
+            payload = value
+        else:
+            payload = CdrAny(typecode or infer_typecode(value), value)
+        self._container.push_event(source, payload)
+        source.emitted += 1
+
+    # -- framework services ----------------------------------------------------------
+    def request_component(self, repo_id: str, qos=None):
+        """Network-wide dependency resolution (§2.4.3); returns an Event
+        yielding the facet IOR of a matching instance."""
+        return self._container.node.request_component(repo_id, qos=qos)
+
+    def charge_cpu(self, work_units: float):
+        """Account and 'execute' work; yields after the host-scaled time."""
+        resources = self._container.node.resources
+        duration = resources.work_duration(work_units)
+        resources.charge(duration)
+        return self._container.env.timeout(duration)
+
+    def schedule(self, delay: float):
+        return self._container.env.timeout(delay)
+
+    def spawn(self, generator):
+        proc = self._container.env.process(generator)
+        self._instance.track(proc)
+        return proc

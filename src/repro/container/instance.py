@@ -1,0 +1,104 @@
+"""ComponentInstance: one running incarnation of a component.
+
+"The instances then become running representations of the code stored
+in a component" (§2.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.components.model import ComponentClass
+from repro.components.ports import PortSet
+from repro.components.reflection import InstanceInfo, PortInfo
+from repro.sim.kernel import Process
+from repro.util.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.components.executor import ComponentExecutor
+
+
+class InstanceState(enum.Enum):
+    CREATED = "created"
+    ACTIVE = "active"
+    PASSIVE = "passive"
+    MIGRATING = "migrating"
+    DESTROYED = "destroyed"
+
+
+class InstanceStateError(ReproError):
+    """Operation invalid in the instance's current state."""
+
+
+class ComponentInstance:
+    """Runtime record the container keeps per instance."""
+
+    def __init__(self, instance_id: str, component_class: ComponentClass,
+                 executor: "ComponentExecutor", host_id: str) -> None:
+        self.instance_id = instance_id
+        self.component_class = component_class
+        self.executor = executor
+        self.host_id = host_id
+        self.ports = PortSet()
+        self.state = InstanceState.CREATED
+        #: simulation processes spawned on behalf of this instance; the
+        #: container interrupts them on passivation/destruction.
+        self.processes: list[Process] = []
+
+    @property
+    def component_name(self) -> str:
+        return self.component_class.name
+
+    @property
+    def qos(self):
+        return self.component_class.component_type.qos
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is InstanceState.ACTIVE
+
+    def require_state(self, *allowed: InstanceState) -> None:
+        if self.state not in allowed:
+            raise InstanceStateError(
+                f"instance {self.instance_id} is {self.state.value}; "
+                f"needs {[s.value for s in allowed]}"
+            )
+
+    def track(self, process: Process) -> Process:
+        self.processes.append(process)
+        return process
+
+    def interrupt_processes(self, cause: str) -> None:
+        for proc in self.processes:
+            if proc.is_alive:
+                proc.interrupt(cause)
+                # The framework is killing the process; an executor that
+                # doesn't catch the Interrupt should not crash the
+                # simulation.
+                proc.defused()
+        self.processes = [p for p in self.processes if p.is_alive]
+
+    # -- reflection -----------------------------------------------------------
+    def info(self) -> InstanceInfo:
+        port_infos = []
+        for desc in self.ports.describe():
+            type_id = desc.get("repo_id", desc.get("event_kind", ""))
+            peer = desc.get("peer", desc.get("channel", desc.get("ior", "")))
+            port_infos.append(PortInfo(
+                name=desc["name"], kind=desc["kind"],
+                type_id=type_id, peer=str(peer),
+            ))
+        return InstanceInfo(
+            instance_id=self.instance_id,
+            component=self.component_name,
+            version=str(self.component_class.version),
+            host=self.host_id,
+            active=self.is_active,
+            ports=tuple(port_infos),
+        )
+
+    def __repr__(self) -> str:
+        return (f"<ComponentInstance {self.instance_id} "
+                f"[{self.component_name}] {self.state.value} on "
+                f"{self.host_id}>")

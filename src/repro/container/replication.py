@@ -1,0 +1,165 @@
+"""Component instance replication (§2.1.1).
+
+A component descriptor declares whether its instances "can be
+replicated, either because they are stateless or they know how [to]
+interact with the framework to maintain replica consistency".  The
+replica manager implements both flavours:
+
+- ``stateless``: N independent instances; clients spread or fail over.
+- ``coordinated``: one primary whose externalized state is pushed to
+  the backups after updates (framework-mediated consistency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.components.reflection import InstanceInfo
+from repro.orb.exceptions import SystemException
+from repro.orb.ior import IOR
+from repro.sim.kernel import Event
+from repro.util.errors import ReproError
+
+
+class ReplicationError(ReproError):
+    """Replication refused (non-replicable component) or failed."""
+
+
+@dataclass
+class ReplicaMember:
+    host: str
+    instance_id: str
+    facet_ior: Optional[IOR]
+
+
+@dataclass
+class ReplicaGroup:
+    """The members of one replicated component."""
+
+    component: str
+    facet_repo_id: str
+    mode: str                       # "stateless" | "coordinated"
+    members: list[ReplicaMember] = field(default_factory=list)
+    _rr: int = 0
+
+    def alive_members(self, topology) -> list[ReplicaMember]:
+        return [m for m in self.members
+                if topology.host(m.host).alive]
+
+    def select(self, topology) -> ReplicaMember:
+        """First live member (failover order)."""
+        alive = self.alive_members(topology)
+        if not alive:
+            raise ReplicationError(
+                f"no live replicas of {self.component}"
+            )
+        return alive[0]
+
+    def select_round_robin(self, topology) -> ReplicaMember:
+        """Load-spreading selection for stateless groups."""
+        alive = self.alive_members(topology)
+        if not alive:
+            raise ReplicationError(
+                f"no live replicas of {self.component}"
+            )
+        member = alive[self._rr % len(alive)]
+        self._rr += 1
+        return member
+
+    @property
+    def primary(self) -> ReplicaMember:
+        if not self.members:
+            raise ReplicationError("empty replica group")
+        return self.members[0]
+
+
+class ReplicaManager:
+    """Creates and maintains replica groups from one node."""
+
+    def __init__(self, node) -> None:
+        self.node = node
+
+    def create_group(self, component_name: str, hosts: list[str],
+                     facet_port: Optional[str] = None) -> Event:
+        """Instantiate *component_name* on every host in *hosts*.
+
+        Returns a process event yielding the :class:`ReplicaGroup`.
+        Package bytes are shipped to hosts lacking the component.
+        """
+        return self.node.env.process(
+            self._create_group(component_name, hosts, facet_port))
+
+    def _create_group(self, component_name: str, hosts: list[str],
+                      facet_port: Optional[str]):
+        node = self.node
+        cls = node.repository.lookup(component_name)
+        if not cls.replicable:
+            raise ReplicationError(
+                f"component {component_name!r} declares replication=none"
+            )
+        provides = cls.component_type.provides
+        if not provides:
+            raise ReplicationError(
+                f"component {component_name!r} has no facets to serve from"
+            )
+        port_decl = provides[0]
+        if facet_port is not None:
+            matches = [p for p in provides if p.name == facet_port]
+            if not matches:
+                raise ReplicationError(f"no facet {facet_port!r}")
+            port_decl = matches[0]
+
+        group = ReplicaGroup(component=component_name,
+                             facet_repo_id=port_decl.repo_id,
+                             mode=cls.software.replication)
+        exact = f"=={cls.version}"
+        for host in hosts:
+            if host != node.host_id:
+                acceptor = node.service_stub(host, "acceptor")
+                installed = yield acceptor.is_installed(component_name, exact)
+                if not installed:
+                    yield acceptor.install(
+                        node.repository.package_bytes(component_name))
+            agent = node.service_stub(host, "container")
+            info_value = yield agent.create_instance(component_name,
+                                                     exact, "")
+            info = InstanceInfo.from_value(info_value)
+            facet_ior = None
+            for port in info.ports:
+                if port.name == port_decl.name and port.peer:
+                    facet_ior = IOR.from_string(port.peer)
+            group.members.append(ReplicaMember(
+                host=host, instance_id=info.instance_id,
+                facet_ior=facet_ior))
+        node.metrics.counter("replication.groups").inc()
+        return group
+
+    def sync(self, group: ReplicaGroup) -> Event:
+        """Push the primary's state to all backups (coordinated mode)."""
+        return self.node.env.process(self._sync(group))
+
+    def _sync(self, group: ReplicaGroup):
+        if group.mode != "coordinated":
+            raise ReplicationError(
+                f"group {group.component} is {group.mode}; sync applies "
+                "to coordinated replication"
+            )
+        node = self.node
+        primary = group.select(node.network.topology)
+        agent = node.service_stub(primary.host, "container")
+        state = yield agent.get_state(primary.instance_id)
+        synced = 0
+        for member in group.members:
+            if member is primary:
+                continue
+            if not node.network.topology.host(member.host).alive:
+                continue
+            backup = node.service_stub(member.host, "container")
+            try:
+                yield backup.set_state(member.instance_id, state)
+                synced += 1
+            except SystemException:
+                continue  # unreachable backup; next sync will catch up
+        node.metrics.counter("replication.syncs").inc()
+        return synced

@@ -1,0 +1,51 @@
+"""CSCW components (§3.1, Figure 2).
+
+The paper's synchronous-collaboration scenario, executable:
+
+- :mod:`repro.cscw.display` — the ``Display`` component "providing
+  painting functions"; **pinned** to its host (it is the hardware).
+- :mod:`repro.cscw.whiteboard` — a shared whiteboard model that emits a
+  stroke event per update, plus the replaceable GUI-part components of
+  Figure 2 that render portions of the application window.
+- :mod:`repro.cscw.video` — the motivating bandwidth-heavy pair: a
+  pinned stream source and a **mobile** decoder whose placement
+  (remote vs. migrated next to its display) the C6 benchmark measures.
+"""
+
+from repro.cscw.display import (
+    DISPLAY_IFACE,
+    DisplayExecutor,
+    display_package,
+)
+from repro.cscw.whiteboard import (
+    SURFACE_IFACE,
+    GuiPartExecutor,
+    WhiteboardExecutor,
+    gui_part_package,
+    whiteboard_package,
+    STROKE_EVENT,
+)
+from repro.cscw.video import (
+    STREAM_SOURCE_IFACE,
+    StreamSourceExecutor,
+    VideoDecoderExecutor,
+    stream_source_package,
+    video_decoder_package,
+)
+
+__all__ = [
+    "DISPLAY_IFACE",
+    "DisplayExecutor",
+    "display_package",
+    "SURFACE_IFACE",
+    "WhiteboardExecutor",
+    "GuiPartExecutor",
+    "whiteboard_package",
+    "gui_part_package",
+    "STROKE_EVENT",
+    "STREAM_SOURCE_IFACE",
+    "StreamSourceExecutor",
+    "VideoDecoderExecutor",
+    "stream_source_package",
+    "video_decoder_package",
+]

@@ -1,0 +1,38 @@
+"""Run-time deployment (§2.4.4).
+
+"In CORBA-LC the matching between component required instances and
+network-running instances is performed at run-time: the exact node in
+which every instance is going to be run is decided when the application
+requests it, and this decision may change to reflect changes in the
+load of either the nodes or the network."
+
+- :mod:`repro.deployment.planner` — placement policies: the QoS/load
+  aware run-time planner, and the baselines the benchmarks compare it
+  against (CCM-style static assignment, random, round-robin).
+- :mod:`repro.deployment.application` — applications as bootstrap
+  components: deploying an assembly descriptor, wiring ports, teardown,
+  and re-wiring after migrations.
+- :mod:`repro.deployment.loadbalancer` — the run-time scheduling loop
+  that migrates instances off overloaded hosts.
+"""
+
+from repro.deployment.planner import (
+    PlannerBase,
+    RandomPlanner,
+    RoundRobinPlanner,
+    RuntimePlanner,
+    StaticPlanner,
+)
+from repro.deployment.application import Application, Deployer
+from repro.deployment.loadbalancer import LoadBalancer
+
+__all__ = [
+    "PlannerBase",
+    "RuntimePlanner",
+    "StaticPlanner",
+    "RandomPlanner",
+    "RoundRobinPlanner",
+    "Application",
+    "Deployer",
+    "LoadBalancer",
+]

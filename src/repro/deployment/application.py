@@ -1,0 +1,257 @@
+"""Applications as bootstrap components (§2.4.4).
+
+"When applications start running, they expose their explicit
+dependencies, requiring instances of other components and connecting
+them following the user stated pattern."  The :class:`Deployer` takes
+an :class:`~repro.xmlmeta.descriptors.AssemblyDescriptor` and, at run
+time: gathers live resource views, asks a planner for a placement,
+ships packages to hosts that lack them, creates the instances through
+each node's Container Agent, and wires every declared connection.
+
+The resulting :class:`Application` handle supports teardown, migration
+of its instances, and the connection re-wiring migrations require.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.components.reflection import InstanceInfo
+from repro.container.migration import MigrationEngine
+from repro.node.events import EventBroker
+from repro.node.node import Node
+from repro.node.resources import RESOURCE_MANAGER_IFACE, ResourceSnapshot
+from repro.orb.exceptions import SystemException
+from repro.orb.ior import IOR
+from repro.registry.view import NodeView
+from repro.sim.kernel import Event
+from repro.util.errors import ReproError
+from repro.xmlmeta.descriptors import (
+    AssemblyConnection,
+    AssemblyDescriptor,
+    QoSSpec,
+)
+
+_SNAPSHOT = RESOURCE_MANAGER_IFACE.operations["snapshot"]
+
+
+class DeploymentError(ReproError):
+    """Assembly could not be deployed or wired."""
+
+
+@dataclass
+class Application:
+    """A deployed assembly: live instances plus their wiring."""
+
+    assembly: AssemblyDescriptor
+    placement: dict[str, str]
+    infos: dict[str, InstanceInfo]
+    deployer: "Deployer"
+    torn_down: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.assembly.name
+
+    def host_of(self, instance_name: str) -> str:
+        return self.placement[instance_name]
+
+    def instance_id(self, instance_name: str) -> str:
+        return self.infos[instance_name].instance_id
+
+    def facet_ior(self, instance_name: str, port: str) -> IOR:
+        info = self.infos[instance_name]
+        for pinfo in info.ports:
+            if pinfo.name == port and pinfo.kind == "facet" and pinfo.peer:
+                return IOR.from_string(pinfo.peer)
+        raise DeploymentError(
+            f"{instance_name} has no facet {port!r}"
+        )
+
+    def connections_to(self, instance_name: str) -> list[AssemblyConnection]:
+        return [c for c in self.assembly.connections
+                if c.to_instance == instance_name]
+
+    # -- operations (return process events) -------------------------------------
+    def teardown(self) -> Event:
+        return self.deployer.env.process(self._teardown())
+
+    def _teardown(self):
+        for name, info in self.infos.items():
+            host = self.placement[name]
+            if not self.deployer.topology.host(host).alive:
+                continue
+            agent = self.deployer.coordinator.service_stub(host, "container")
+            try:
+                yield agent.destroy_instance(info.instance_id)
+            except SystemException:
+                continue
+        self.torn_down = True
+        if self in self.deployer.applications:
+            self.deployer.applications.remove(self)
+
+    def migrate(self, instance_name: str, target_host: str) -> Event:
+        """Migrate one instance and re-wire connections touching it."""
+        return self.deployer.env.process(
+            self._migrate(instance_name, target_host))
+
+    def _migrate(self, instance_name: str, target_host: str):
+        source_host = self.placement[instance_name]
+        engine = MigrationEngine(self.deployer.nodes[source_host])
+        info = yield engine.migrate(self.instance_id(instance_name),
+                                    target_host)
+        self.infos[instance_name] = info
+        self.placement[instance_name] = target_host
+        yield from self._rewire(instance_name)
+        return info
+
+    def _rewire(self, migrated: str):
+        """Repair connections whose provider facets/channels moved."""
+        coordinator = self.deployer.coordinator
+        for conn in self.connections_to(migrated):
+            user_host = self.placement[conn.from_instance]
+            user_id = self.instance_id(conn.from_instance)
+            agent = coordinator.service_stub(user_host, "container")
+            if conn.kind == "interface":
+                new_ior = self.facet_ior(migrated, conn.to_port)
+                try:
+                    yield agent.disconnect(user_id, conn.from_port)
+                except SystemException:
+                    pass
+                yield agent.connect(user_id, conn.from_port,
+                                    new_ior.to_string())
+            else:
+                kind = self._event_kind(migrated, conn.to_port)
+                channel = EventBroker.channel_ior_on(
+                    self.placement[migrated], kind)
+                yield agent.subscribe(user_id, conn.from_port,
+                                      channel.to_string())
+
+    def _event_kind(self, instance_name: str, port: str) -> str:
+        for pinfo in self.infos[instance_name].ports:
+            if pinfo.name == port:
+                return pinfo.type_id
+        raise DeploymentError(
+            f"{instance_name} has no event port {port!r}"
+        )
+
+
+class Deployer:
+    """Run-time deployment driver over a node population."""
+
+    def __init__(self, nodes: dict[str, Node], planner,
+                 coordinator_host: Optional[str] = None) -> None:
+        if not nodes:
+            raise DeploymentError("no nodes")
+        self.nodes = nodes
+        self.planner = planner
+        host = coordinator_host or next(iter(nodes))
+        self.coordinator = nodes[host]
+        self.env = self.coordinator.env
+        self.topology = self.coordinator.network.topology
+        self.applications: list[Application] = []
+
+    # -- views --------------------------------------------------------------
+    def gather_views(self) -> Event:
+        """Live resource snapshots from every reachable node."""
+        return self.env.process(self._gather_views())
+
+    def _gather_views(self):
+        views: list[ResourceSnapshot] = []
+        for host in self.nodes:
+            if not self.topology.host(host).alive:
+                continue
+            ior = Node.service_ior(host, "resources")
+            try:
+                value = yield self.coordinator.orb.invoke(
+                    ior, _SNAPSHOT, (), timeout=2.0, meter="deploy.views")
+            except SystemException:
+                continue
+            views.append(ResourceSnapshot.from_value(value))
+        return views
+
+    # -- component sourcing ------------------------------------------------------
+    def _source_host(self, component: str) -> str:
+        for host, node in self.nodes.items():
+            if (self.topology.host(host).alive
+                    and node.repository.is_installed(component)):
+                return host
+        raise DeploymentError(
+            f"component {component!r} is installed nowhere"
+        )
+
+    def _qos_of(self, assembly: AssemblyDescriptor) -> dict[str, QoSSpec]:
+        out: dict[str, QoSSpec] = {}
+        for inst in assembly.instances:
+            if inst.component in out:
+                continue
+            source = self.nodes[self._source_host(inst.component)]
+            cls = source.repository.lookup(inst.component, inst.versions)
+            out[inst.component] = cls.component_type.qos
+        return out
+
+    # -- deployment ------------------------------------------------------------------
+    def deploy(self, assembly: AssemblyDescriptor) -> Event:
+        """Deploy *assembly*; yields the :class:`Application` handle."""
+        return self.env.process(self._deploy(assembly))
+
+    def _deploy(self, assembly: AssemblyDescriptor):
+        views = yield from self._gather_views()
+        qos_of = self._qos_of(assembly)
+        placement = self.planner.plan(assembly, views, qos_of)
+
+        infos: dict[str, InstanceInfo] = {}
+        for inst in assembly.instances:
+            host = placement[inst.name]
+            yield from self._ensure_installed(inst.component, host)
+            agent = self.coordinator.service_stub(host, "container")
+            value = yield agent.create_instance(
+                inst.component, inst.versions.text,
+                f"{assembly.name}.{inst.name}")
+            infos[inst.name] = InstanceInfo.from_value(value)
+
+        app = Application(assembly=assembly, placement=placement,
+                          infos=infos, deployer=self)
+        yield from self._wire(app)
+        self.applications.append(app)
+        self.coordinator.metrics.counter("deploy.applications").inc()
+        return app
+
+    def _ensure_installed(self, component: str, host: str):
+        node = self.nodes[host]
+        if node.repository.is_installed(component):
+            return
+        source = self._source_host(component)
+        source_acceptor = self.coordinator.service_stub(source, "acceptor")
+        pkg = yield source_acceptor.fetch(component, "")
+        target_acceptor = self.coordinator.service_stub(host, "acceptor")
+        installed = yield target_acceptor.is_installed(component, "")
+        if not installed:
+            yield target_acceptor.install(pkg)
+        self.coordinator.metrics.counter("deploy.packages_shipped").inc()
+
+    def _wire(self, app: Application):
+        for conn in app.assembly.connections:
+            user_host = app.placement[conn.from_instance]
+            user_id = app.instance_id(conn.from_instance)
+            agent = self.coordinator.service_stub(user_host, "container")
+            if conn.kind == "interface":
+                provider = app.facet_ior(conn.to_instance, conn.to_port)
+                yield agent.connect(user_id, conn.from_port,
+                                    provider.to_string())
+            else:
+                kind = app._event_kind(conn.to_instance, conn.to_port)
+                sink_kind = app._event_kind(conn.from_instance,
+                                            conn.from_port)
+                if kind != sink_kind:
+                    raise DeploymentError(
+                        f"event connection {conn.from_instance}."
+                        f"{conn.from_port} <- {conn.to_instance}."
+                        f"{conn.to_port}: kind mismatch "
+                        f"({sink_kind!r} vs {kind!r})"
+                    )
+                channel = EventBroker.channel_ior_on(
+                    app.placement[conn.to_instance], kind)
+                yield agent.subscribe(user_id, conn.from_port,
+                                      channel.to_string())

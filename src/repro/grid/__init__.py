@@ -1,0 +1,29 @@
+"""Grid computing support (§3.2).
+
+"Our view of Grid Computation targets scalable and intelligent resource
+and CPU usage within a distributed system, using techniques such as
+IDLE computation and volunteer computing."
+
+- :mod:`repro.grid.idle` — per-host user-activity model; an active user
+  reserves most of the host's CPU, so the Reflection Architecture (and
+  every placement decision) sees the machine as busy.
+- :mod:`repro.grid.worker` — the data-parallel Monte-Carlo π component
+  (an aggregatable component in the §2.1.1 sense).
+- :mod:`repro.grid.volunteer` — a master that farms work shards onto
+  hosts that volunteer while idle, tolerating churn by re-queueing.
+"""
+
+from repro.grid.idle import IdleMonitor
+from repro.grid.worker import (
+    MonteCarloPiExecutor,
+    montecarlo_package,
+)
+from repro.grid.volunteer import VolunteerMaster, VolunteerAgent
+
+__all__ = [
+    "IdleMonitor",
+    "MonteCarloPiExecutor",
+    "montecarlo_package",
+    "VolunteerMaster",
+    "VolunteerAgent",
+]

@@ -1,0 +1,145 @@
+"""AST node definitions for the IDL compiler.
+
+Type references are kept symbolic (:class:`NamedType`) until codegen,
+which resolves them against lexical scopes — so forward uses within a
+module and cross-module scoped names (``A::B``) both work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+
+# -- type expressions ----------------------------------------------------------
+
+@dataclass(frozen=True)
+class PrimitiveType:
+    """A built-in IDL type, by its canonical spelling ('long', 'string'...)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class NamedType:
+    """A (possibly scoped) reference to a user-defined type: ``A::B::C``."""
+
+    parts: tuple[str, ...]
+
+    @property
+    def text(self) -> str:
+        return "::".join(self.parts)
+
+
+@dataclass(frozen=True)
+class SequenceType:
+    element: "TypeExpr"
+    bound: int = 0  # 0 = unbounded
+
+
+@dataclass(frozen=True)
+class ArrayOf:
+    """Applied by a declarator with dimensions: ``long grid[4][4];``"""
+
+    element: "TypeExpr"
+    dims: tuple[int, ...]
+
+
+TypeExpr = Union[PrimitiveType, NamedType, SequenceType, ArrayOf]
+
+
+# -- declarations ----------------------------------------------------------------
+
+@dataclass
+class Member:
+    type: TypeExpr
+    name: str
+
+
+@dataclass
+class StructDecl:
+    name: str
+    members: list[Member]
+
+
+@dataclass
+class ExceptionDecl:
+    name: str
+    members: list[Member]
+
+
+@dataclass
+class EnumDecl:
+    name: str
+    labels: list[str]
+
+
+@dataclass
+class UnionArm:
+    labels: list[object]      # case label literal values; None for 'default'
+    type: TypeExpr
+    name: str
+
+
+@dataclass
+class UnionDecl:
+    name: str
+    discriminator: TypeExpr
+    arms: list[UnionArm]
+
+
+@dataclass
+class TypedefDecl:
+    name: str
+    type: TypeExpr
+
+
+@dataclass
+class ConstDecl:
+    name: str
+    type: TypeExpr
+    value: object
+
+
+@dataclass
+class ParamDecl:
+    mode: str                 # 'in' | 'out' | 'inout'
+    type: TypeExpr
+    name: str
+
+
+@dataclass
+class OperationDecl:
+    name: str
+    result: Optional[TypeExpr]  # None = void
+    params: list[ParamDecl]
+    raises: list[NamedType] = field(default_factory=list)
+    oneway: bool = False
+
+
+@dataclass
+class AttributeDecl:
+    name: str
+    type: TypeExpr
+    readonly: bool = False
+
+
+@dataclass
+class InterfaceDecl:
+    name: str
+    bases: list[NamedType]
+    body: list[object]        # operations, attributes, nested type decls
+
+
+@dataclass
+class ModuleDecl:
+    name: str
+    body: list[object]
+
+
+@dataclass
+class Specification:
+    """A whole IDL compilation unit."""
+
+    definitions: list[object]
+    prefix: str = ""          # from '#pragma prefix "..."'

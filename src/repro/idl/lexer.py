@@ -1,0 +1,82 @@
+"""IDL tokenizer.
+
+Produces a flat token stream; handles ``//`` and ``/* */`` comments,
+``#pragma`` lines, string/char/number literals, multi-character
+punctuation (``::``, ``<<``, ``>>``) and keywords.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.util.errors import ValidationError
+
+
+class IdlLexError(ValidationError):
+    """Bad character or malformed literal in IDL source."""
+
+
+KEYWORDS = {
+    "module", "interface", "struct", "enum", "union", "switch", "case",
+    "default", "typedef", "exception", "const", "attribute", "readonly",
+    "oneway", "in", "out", "inout", "raises", "sequence", "string",
+    "void", "short", "long", "unsigned", "float", "double", "boolean",
+    "char", "octet", "any", "Object", "TRUE", "FALSE",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>//[^\n]*|/\*.*?\*/)
+  | (?P<pragma>\#[^\n]*)
+  | (?P<float>\d+\.\d*(?:[eE][+-]?\d+)?|\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)
+  | (?P<int>0[xX][0-9a-fA-F]+|\d+)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<char>'(?:[^'\\]|\\.)')
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<punct>::|<<|>>|[{}();,:<>=\[\]|*/+-])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str      # 'kw', 'ident', 'int', 'float', 'string', 'char', 'punct', 'pragma', 'eof'
+    value: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}, line {self.line})"
+
+
+EOF = "eof"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize IDL *source*; raises :class:`IdlLexError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    line = 1
+    n = len(source)
+    while pos < n:
+        m = _TOKEN_RE.match(source, pos)
+        if m is None:
+            snippet = source[pos:pos + 20].splitlines()[0]
+            raise IdlLexError(f"line {line}: cannot tokenize at {snippet!r}")
+        text = m.group(0)
+        kind = m.lastgroup
+        if kind == "ws" or kind == "comment":
+            pass
+        elif kind == "pragma":
+            tokens.append(Token("pragma", text, line))
+        elif kind == "ident":
+            tok_kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(tok_kind, text, line))
+        else:
+            tokens.append(Token(kind, text, line))
+        line += text.count("\n")
+        pos = m.end()
+    tokens.append(Token(EOF, "", line))
+    return tokens

@@ -1,0 +1,439 @@
+"""Recursive-descent parser for the supported IDL subset.
+
+Grammar (roughly)::
+
+    spec        := (pragma | definition)*
+    definition  := module | interface | type_dcl ';'
+    module      := 'module' ID '{' definition* '}' ';'
+    interface   := 'interface' ID [':' scoped (',' scoped)*]
+                   '{' export* '}' ';'
+    export      := op_dcl | attr_dcl | type_dcl ';'
+    type_dcl    := struct | enum | union | typedef | exception | const
+    op_dcl      := ['oneway'] (type|'void') ID '(' params ')'
+                   ['raises' '(' scoped (',' scoped)* ')'] ';'
+    attr_dcl    := ['readonly'] 'attribute' type ID (',' ID)* ';'
+    type        := primitive | 'string' | 'sequence' '<' type [',' int] '>'
+                 | scoped
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.idl import idlast as ast
+from repro.idl.lexer import EOF, Token, tokenize
+from repro.util.errors import ValidationError
+
+
+class IdlSyntaxError(ValidationError):
+    """Unexpected token while parsing IDL."""
+
+
+_PRIMITIVE_STARTERS = {
+    "void", "short", "long", "unsigned", "float", "double", "boolean",
+    "char", "octet", "any", "Object", "string",
+}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers ------------------------------------------------------
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.kind != EOF:
+            self._pos += 1
+        return tok
+
+    def _error(self, what: str) -> IdlSyntaxError:
+        tok = self._cur
+        return IdlSyntaxError(
+            f"line {tok.line}: expected {what}, got {tok.kind} {tok.value!r}"
+        )
+
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
+        tok = self._cur
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
+        tok = self._accept(kind, value)
+        if tok is None:
+            raise self._error(value or kind)
+        return tok
+
+    def _expect_ident(self) -> str:
+        return self._expect("ident").value
+
+    def _at_kw(self, *names: str) -> bool:
+        return self._cur.kind == "kw" and self._cur.value in names
+
+    # -- entry ------------------------------------------------------------------
+    def parse_spec(self) -> ast.Specification:
+        prefix = ""
+        definitions = []
+        while self._cur.kind != EOF:
+            if self._cur.kind == "pragma":
+                text = self._advance().value
+                parts = text.split()
+                if len(parts) >= 3 and parts[0] == "#pragma" and parts[1] == "prefix":
+                    prefix = parts[2].strip('"')
+                continue
+            definitions.append(self._definition())
+        return ast.Specification(definitions=definitions, prefix=prefix)
+
+    # -- definitions -----------------------------------------------------------
+    def _definition(self):
+        if self._at_kw("module"):
+            return self._module()
+        if self._at_kw("interface"):
+            return self._interface()
+        decl = self._type_dcl()
+        self._expect("punct", ";")
+        return decl
+
+    def _module(self) -> ast.ModuleDecl:
+        self._expect("kw", "module")
+        name = self._expect_ident()
+        self._expect("punct", "{")
+        body = []
+        while not self._accept("punct", "}"):
+            if self._cur.kind == EOF:
+                raise self._error("'}' closing module")
+            if self._cur.kind == "pragma":
+                self._advance()
+                continue
+            body.append(self._definition())
+        self._expect("punct", ";")
+        return ast.ModuleDecl(name=name, body=body)
+
+    def _interface(self) -> ast.InterfaceDecl:
+        self._expect("kw", "interface")
+        name = self._expect_ident()
+        bases: list[ast.NamedType] = []
+        if self._accept("punct", ":"):
+            bases.append(self._scoped_name())
+            while self._accept("punct", ","):
+                bases.append(self._scoped_name())
+        self._expect("punct", "{")
+        body = []
+        while not self._accept("punct", "}"):
+            if self._cur.kind == EOF:
+                raise self._error("'}' closing interface")
+            if self._cur.kind == "pragma":
+                self._advance()
+                continue
+            body.append(self._export())
+        self._expect("punct", ";")
+        return ast.InterfaceDecl(name=name, bases=bases, body=body)
+
+    def _export(self):
+        if self._at_kw("struct", "enum", "union", "typedef", "exception",
+                       "const"):
+            decl = self._type_dcl()
+            self._expect("punct", ";")
+            return decl
+        if self._at_kw("readonly", "attribute"):
+            return self._attribute()
+        return self._operation()
+
+    # -- type declarations ---------------------------------------------------------
+    def _type_dcl(self):
+        if self._at_kw("struct"):
+            return self._struct()
+        if self._at_kw("enum"):
+            return self._enum()
+        if self._at_kw("union"):
+            return self._union()
+        if self._at_kw("typedef"):
+            return self._typedef()
+        if self._at_kw("exception"):
+            return self._exception()
+        if self._at_kw("const"):
+            return self._const()
+        raise self._error("a declaration")
+
+    def _struct(self) -> ast.StructDecl:
+        self._expect("kw", "struct")
+        name = self._expect_ident()
+        self._expect("punct", "{")
+        members = self._members("}")
+        self._expect("punct", "}")
+        return ast.StructDecl(name=name, members=members)
+
+    def _exception(self) -> ast.ExceptionDecl:
+        self._expect("kw", "exception")
+        name = self._expect_ident()
+        self._expect("punct", "{")
+        members = self._members("}")
+        self._expect("punct", "}")
+        return ast.ExceptionDecl(name=name, members=members)
+
+    def _members(self, closer: str) -> list[ast.Member]:
+        members: list[ast.Member] = []
+        while not (self._cur.kind == "punct" and self._cur.value == closer):
+            if self._cur.kind == EOF:
+                raise self._error(f"{closer!r}")
+            mtype = self._type_spec()
+            while True:
+                mname, full_type = self._declarator(mtype)
+                members.append(ast.Member(type=full_type, name=mname))
+                if not self._accept("punct", ","):
+                    break
+            self._expect("punct", ";")
+        return members
+
+    def _declarator(self, base: ast.TypeExpr) -> tuple[str, ast.TypeExpr]:
+        name = self._expect_ident()
+        dims: list[int] = []
+        while self._accept("punct", "["):
+            dims.append(self._int_literal())
+            self._expect("punct", "]")
+        if dims:
+            return name, ast.ArrayOf(element=base, dims=tuple(dims))
+        return name, base
+
+    def _enum(self) -> ast.EnumDecl:
+        self._expect("kw", "enum")
+        name = self._expect_ident()
+        self._expect("punct", "{")
+        labels = [self._expect_ident()]
+        while self._accept("punct", ","):
+            if self._cur.kind == "punct" and self._cur.value == "}":
+                break  # trailing comma
+            labels.append(self._expect_ident())
+        self._expect("punct", "}")
+        return ast.EnumDecl(name=name, labels=labels)
+
+    def _union(self) -> ast.UnionDecl:
+        self._expect("kw", "union")
+        name = self._expect_ident()
+        self._expect("kw", "switch")
+        self._expect("punct", "(")
+        disc = self._type_spec()
+        self._expect("punct", ")")
+        self._expect("punct", "{")
+        arms: list[ast.UnionArm] = []
+        while not self._accept("punct", "}"):
+            if self._cur.kind == EOF:
+                raise self._error("'}' closing union")
+            labels: list[object] = []
+            while True:
+                if self._accept("kw", "case"):
+                    labels.append(self._case_label())
+                    self._expect("punct", ":")
+                elif self._accept("kw", "default"):
+                    labels.append(None)
+                    self._expect("punct", ":")
+                else:
+                    break
+            if not labels:
+                raise self._error("'case' or 'default'")
+            atype = self._type_spec()
+            aname, full_type = self._declarator(atype)
+            self._expect("punct", ";")
+            arms.append(ast.UnionArm(labels=labels, type=full_type, name=aname))
+        return ast.UnionDecl(name=name, discriminator=disc, arms=arms)
+
+    def _case_label(self):
+        tok = self._cur
+        if tok.kind == "int":
+            self._advance()
+            return int(tok.value, 0)
+        if tok.kind == "char":
+            self._advance()
+            return tok.value[1:-1]
+        if tok.kind == "kw" and tok.value in ("TRUE", "FALSE"):
+            self._advance()
+            return tok.value == "TRUE"
+        if tok.kind == "ident":  # enum label
+            self._advance()
+            return tok.value
+        raise self._error("a case label")
+
+    def _typedef(self) -> ast.TypedefDecl:
+        self._expect("kw", "typedef")
+        base = self._type_spec()
+        name, full_type = self._declarator(base)
+        return ast.TypedefDecl(name=name, type=full_type)
+
+    def _const(self) -> ast.ConstDecl:
+        self._expect("kw", "const")
+        ctype = self._type_spec()
+        name = self._expect_ident()
+        self._expect("punct", "=")
+        value = self._const_value()
+        return ast.ConstDecl(name=name, type=ctype, value=value)
+
+    def _const_value(self):
+        tok = self._cur
+        if tok.kind == "int":
+            self._advance()
+            return int(tok.value, 0)
+        if tok.kind == "float":
+            self._advance()
+            return float(tok.value)
+        if tok.kind == "string":
+            self._advance()
+            return tok.value[1:-1]
+        if tok.kind == "char":
+            self._advance()
+            return tok.value[1:-1]
+        if tok.kind == "kw" and tok.value in ("TRUE", "FALSE"):
+            self._advance()
+            return tok.value == "TRUE"
+        if tok.kind == "punct" and tok.value == "-":
+            self._advance()
+            inner = self._const_value()
+            if not isinstance(inner, (int, float)):
+                raise self._error("a numeric literal after '-'")
+            return -inner
+        raise self._error("a literal")
+
+    def _int_literal(self) -> int:
+        tok = self._expect("int")
+        return int(tok.value, 0)
+
+    # -- interface members --------------------------------------------------------
+    def _attribute(self) -> ast.AttributeDecl:
+        readonly = self._accept("kw", "readonly") is not None
+        self._expect("kw", "attribute")
+        atype = self._type_spec()
+        name = self._expect_ident()
+        # Multiple declarators share the type; return a list-like via
+        # chained attribute decls is awkward — the grammar allows it, so
+        # expand here by peeking for commas.
+        names = [name]
+        while self._accept("punct", ","):
+            names.append(self._expect_ident())
+        self._expect("punct", ";")
+        if len(names) == 1:
+            return ast.AttributeDecl(name=name, type=atype, readonly=readonly)
+        # Represent multi-declarator attributes as a synthetic module-less
+        # list; the caller flattens.
+        return _MultiAttribute(
+            [ast.AttributeDecl(name=n, type=atype, readonly=readonly)
+             for n in names]
+        )
+
+    def _operation(self) -> ast.OperationDecl:
+        oneway = self._accept("kw", "oneway") is not None
+        if self._accept("kw", "void"):
+            result: Optional[ast.TypeExpr] = None
+        else:
+            result = self._type_spec()
+        name = self._expect_ident()
+        self._expect("punct", "(")
+        params: list[ast.ParamDecl] = []
+        if not self._accept("punct", ")"):
+            while True:
+                mode_tok = self._cur
+                if not (mode_tok.kind == "kw"
+                        and mode_tok.value in ("in", "out", "inout")):
+                    raise self._error("'in', 'out' or 'inout'")
+                self._advance()
+                ptype = self._type_spec()
+                pname = self._expect_ident()
+                params.append(ast.ParamDecl(mode=mode_tok.value, type=ptype,
+                                            name=pname))
+                if self._accept("punct", ")"):
+                    break
+                self._expect("punct", ",")
+        raises: list[ast.NamedType] = []
+        if self._accept("kw", "raises"):
+            self._expect("punct", "(")
+            raises.append(self._scoped_name())
+            while self._accept("punct", ","):
+                raises.append(self._scoped_name())
+            self._expect("punct", ")")
+        self._expect("punct", ";")
+        return ast.OperationDecl(name=name, result=result, params=params,
+                                 raises=raises, oneway=oneway)
+
+    # -- types -------------------------------------------------------------------
+    def _type_spec(self) -> ast.TypeExpr:
+        tok = self._cur
+        if tok.kind == "kw" and tok.value in _PRIMITIVE_STARTERS:
+            return self._primitive()
+        if tok.kind == "kw" and tok.value == "sequence":
+            self._advance()
+            self._expect("punct", "<")
+            element = self._type_spec()
+            bound = 0
+            if self._accept("punct", ","):
+                bound = self._int_literal()
+            self._expect("punct", ">")
+            return ast.SequenceType(element=element, bound=bound)
+        if tok.kind == "ident":
+            return self._scoped_name()
+        raise self._error("a type")
+
+    def _primitive(self) -> ast.PrimitiveType:
+        tok = self._advance()
+        name = tok.value
+        if name == "unsigned":
+            nxt = self._expect("kw").value
+            if nxt == "short":
+                return ast.PrimitiveType("unsigned short")
+            if nxt == "long":
+                if self._at_kw("long"):
+                    self._advance()
+                    return ast.PrimitiveType("unsigned long long")
+                return ast.PrimitiveType("unsigned long")
+            raise self._error("'short' or 'long' after 'unsigned'")
+        if name == "long":
+            if self._at_kw("long"):
+                self._advance()
+                return ast.PrimitiveType("long long")
+            if self._at_kw("double"):
+                self._advance()
+                return ast.PrimitiveType("double")  # long double -> double
+            return ast.PrimitiveType("long")
+        if name == "string":
+            # bounded strings: string<N> — bound recorded but not enforced
+            if self._accept("punct", "<"):
+                self._int_literal()
+                self._expect("punct", ">")
+            return ast.PrimitiveType("string")
+        return ast.PrimitiveType(name)
+
+    def _scoped_name(self) -> ast.NamedType:
+        parts = []
+        if self._accept("punct", "::"):
+            pass  # absolute name; resolution is identical for our scopes
+        parts.append(self._expect_ident())
+        while self._accept("punct", "::"):
+            parts.append(self._expect_ident())
+        return ast.NamedType(parts=tuple(parts))
+
+
+class _MultiAttribute(list):
+    """Internal: several AttributeDecls produced by one declaration."""
+
+
+def parse(source: str) -> ast.Specification:
+    """Parse IDL *source* into a :class:`~repro.idl.idlast.Specification`."""
+    spec = _Parser(tokenize(source)).parse_spec()
+    _flatten_multi_attrs(spec.definitions)
+    return spec
+
+
+def _flatten_multi_attrs(body: list) -> None:
+    for node in body:
+        if isinstance(node, ast.ModuleDecl):
+            _flatten_multi_attrs(node.body)
+        elif isinstance(node, ast.InterfaceDecl):
+            flattened = []
+            for item in node.body:
+                if isinstance(item, _MultiAttribute):
+                    flattened.extend(item)
+                else:
+                    flattened.append(item)
+            node.body = flattened

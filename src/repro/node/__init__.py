@@ -1,0 +1,28 @@
+"""The Node service — Figure 1 of the paper, made executable.
+
+"Each host participating must have running a server implementing the
+Node service" (§2.4.1).  A :class:`~repro.node.node.Node` assembles, on
+one simulated host:
+
+- the **Component Repository** (:mod:`repro.node.repository`): installed
+  packages, version-aware lookup;
+- the **Resource Manager** (:mod:`repro.node.resources`): static host
+  traits and dynamic load, reservation-based admission;
+- the **Component Registry** (:mod:`repro.node.registry`): the external
+  reflection of the repository, running instances and their assemblies;
+- the **Component Acceptor** (:mod:`repro.node.acceptor`): run-time
+  installation hooks, package fetch for migration;
+- the **event broker** (:mod:`repro.node.events`): one push channel per
+  event kind;
+- a **Container** (:mod:`repro.container`) hosting instances.
+
+The Network Cohesion protocol that links nodes into the logical network
+lives in :mod:`repro.registry` and plugs into the node.
+"""
+
+from repro.node.node import Node
+from repro.node.repository import ComponentRepository
+from repro.node.resources import ResourceManager, ResourceSnapshot
+
+__all__ = ["Node", "ComponentRepository", "ResourceManager",
+           "ResourceSnapshot"]

@@ -1,0 +1,114 @@
+"""The Component Registry: the node's external reflection (§2.4.1-2.4.2).
+
+"The Component Registry interface reflects the internal Component
+Repository and helps in performing distributed component queries."  It
+serves three views: installed components, running instances (with
+ports/assemblies), and provider lookups by interface repository id —
+used both by the Distributed Registry and by builder tools.
+"""
+
+from __future__ import annotations
+
+from repro.components.reflection import (
+    COMPONENT_INFO_TC,
+    ComponentInfo,
+    INSTANCE_INFO_TC,
+    InstanceInfo,
+)
+from repro.orb.core import InterfaceDef, Servant, make_exception_class, op
+from repro.orb.typecodes import (
+    except_tc,
+    sequence_tc,
+    tc_objref,
+    tc_string,
+)
+
+NOT_INSTALLED_TC = except_tc(
+    "NotInstalled", [("component", tc_string)],
+    repo_id="IDL:corbalc/Node/NotInstalled:1.0",
+)
+NotInstalled = make_exception_class("NotInstalled", NOT_INSTALLED_TC)
+
+COMPONENT_REGISTRY_IFACE = InterfaceDef(
+    "IDL:corbalc/Node/ComponentRegistry:1.0",
+    "ComponentRegistry",
+    operations=[
+        op("installed", [], sequence_tc(COMPONENT_INFO_TC)),
+        op("instances", [], sequence_tc(INSTANCE_INFO_TC)),
+        op("find_providers", [("repo_id", tc_string)],
+           sequence_tc(tc_string)),
+        op("running_providers", [("repo_id", tc_string)],
+           sequence_tc(tc_string)),
+        op("factory_of", [("component", tc_string)], tc_objref,
+           raises=[NOT_INSTALLED_TC]),
+    ],
+)
+
+
+class NodeRegistry:
+    """Local reflection logic over the repository and container."""
+
+    def __init__(self, node) -> None:
+        self.node = node
+        #: bumped on every repository/container change — lets soft-state
+        #: updates skip re-sending an unchanged view.
+        self.generation = 0
+        node.repository.listeners.append(self._on_repository_change)
+        node.container.listeners.append(self._on_container_change)
+
+    def _on_repository_change(self, _action, _cls) -> None:
+        self.generation += 1
+
+    def _on_container_change(self, _action, _instance) -> None:
+        self.generation += 1
+
+    # -- views -------------------------------------------------------------
+    def installed(self) -> list[ComponentInfo]:
+        return [ComponentInfo.from_package(cls.package)
+                for cls in self.node.repository.classes()]
+
+    def instances(self) -> list[InstanceInfo]:
+        return self.node.container.instance_infos()
+
+    def find_providers(self, repo_id: str) -> list[str]:
+        """Names of installed components providing *repo_id*."""
+        return sorted(cls.name
+                      for cls in self.node.repository.providers_of(repo_id))
+
+    def running_providers(self, repo_id: str) -> list[str]:
+        """Stringified facet IORs of running instances providing *repo_id*."""
+        iors = []
+        for instance in self.node.container.instances():
+            if not instance.is_active:
+                continue
+            for facet in instance.ports.facets():
+                if facet.repo_id == repo_id and facet.ior is not None:
+                    iors.append(facet.ior.to_string())
+        return iors
+
+
+class ComponentRegistryServant(Servant):
+    """Remote face of the node registry."""
+
+    _interface = COMPONENT_REGISTRY_IFACE
+
+    def __init__(self, registry: NodeRegistry) -> None:
+        self.registry = registry
+
+    def installed(self) -> list[dict]:
+        return [info.to_value() for info in self.registry.installed()]
+
+    def instances(self) -> list[dict]:
+        return [info.to_value() for info in self.registry.instances()]
+
+    def find_providers(self, repo_id: str) -> list[str]:
+        return self.registry.find_providers(repo_id)
+
+    def running_providers(self, repo_id: str) -> list[str]:
+        return self.registry.running_providers(repo_id)
+
+    def factory_of(self, component: str):
+        node = self.registry.node
+        if not node.repository.is_installed(component):
+            raise NotInstalled(component)
+        return node.container.factory_ior(component)

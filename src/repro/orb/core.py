@@ -1,0 +1,558 @@
+"""The ORB runtime: typed invocation between hosts on the simulated net.
+
+One :class:`ORB` runs per host and binds the host's ``giop`` port.  A
+client marshals a request with the target operation's signature, the
+encoded bytes travel the network, the server ORB unmarshals, charges
+the operation's CPU cost (scaled by the host's power), dispatches to
+the servant, and sends back a CDR-encoded reply.
+
+Invocation is asynchronous at the kernel level: :meth:`ORB.invoke`
+returns a kernel :class:`~repro.sim.kernel.Event` that a simulation
+process ``yield``-s on.  Test code outside the simulation can use
+:meth:`ORB.sync` to run the clock until a reply arrives.
+
+Servant methods may return either a plain value or a generator; a
+generator is driven as a simulation process, which lets servants make
+nested remote calls or sleep for simulated time while serving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any as TAny
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.orb import giop
+from repro.orb.cdr import CDRDecoder, CDREncoder, decode_value, encode_value
+from repro.orb.exceptions import (
+    BAD_OPERATION,
+    BAD_PARAM,
+    COMM_FAILURE,
+    INTERNAL,
+    NO_IMPLEMENT,
+    OBJECT_NOT_EXIST,
+    SYSTEM_EXCEPTIONS,
+    TIMEOUT,
+    UNKNOWN,
+    SystemException,
+    UserException,
+)
+from repro.orb.ior import IOR
+from repro.orb.typecodes import TCKind, TypeCode, tc_void
+from repro.sim.kernel import Environment, Event
+from repro.sim.network import Message, Network
+from repro.util.errors import ConfigurationError
+
+#: Default per-operation dispatch cost in abstract work units; a desktop
+#: (cpu_power=400) spends 0.25 ms per unit-cost operation.
+DEFAULT_OP_COST = 0.1
+
+PARAM_MODES = ("in", "inout", "out")
+
+
+@dataclass(frozen=True)
+class ParamDef:
+    """One formal parameter of an IDL operation."""
+
+    name: str
+    tc: TypeCode
+    mode: str = "in"
+
+    def __post_init__(self) -> None:
+        if self.mode not in PARAM_MODES:
+            raise ConfigurationError(f"bad parameter mode {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class OperationDef:
+    """Signature of one IDL operation.
+
+    ``raises`` lists the EXCEPT TypeCodes of declared user exceptions.
+    ``cpu_cost`` is the simulated work the server performs per call.
+    """
+
+    name: str
+    params: tuple[ParamDef, ...] = ()
+    result: TypeCode = tc_void
+    raises: tuple[TypeCode, ...] = ()
+    oneway: bool = False
+    cpu_cost: float = DEFAULT_OP_COST
+
+    def __post_init__(self) -> None:
+        if self.oneway and (
+            self.result.kind is not TCKind.VOID
+            or any(p.mode != "in" for p in self.params)
+            or self.raises
+        ):
+            raise ConfigurationError(
+                f"oneway operation {self.name!r} must be void, in-only, "
+                "and raise nothing"
+            )
+
+    def in_params(self) -> list[ParamDef]:
+        return [p for p in self.params if p.mode in ("in", "inout")]
+
+    def out_params(self) -> list[ParamDef]:
+        return [p for p in self.params if p.mode in ("inout", "out")]
+
+
+def op(name: str, params: Sequence[tuple] = (), result: TypeCode = tc_void,
+       raises: Sequence[TypeCode] = (), oneway: bool = False,
+       cpu_cost: float = DEFAULT_OP_COST) -> OperationDef:
+    """Shorthand OperationDef constructor.
+
+    *params* entries are ``(name, tc)`` (mode "in") or ``(name, tc, mode)``.
+    """
+    pdefs = []
+    for entry in params:
+        if len(entry) == 2:
+            pdefs.append(ParamDef(entry[0], entry[1]))
+        else:
+            pdefs.append(ParamDef(entry[0], entry[1], entry[2]))
+    return OperationDef(name=name, params=tuple(pdefs), result=result,
+                        raises=tuple(raises), oneway=oneway, cpu_cost=cpu_cost)
+
+
+class InterfaceDef:
+    """An IDL interface: named operations plus inherited bases."""
+
+    def __init__(self, repo_id: str, name: str,
+                 operations: Iterable[OperationDef] = (),
+                 bases: Sequence["InterfaceDef"] = ()) -> None:
+        self.repo_id = repo_id
+        self.name = name
+        self.bases = tuple(bases)
+        self.operations: dict[str, OperationDef] = {}
+        for odef in operations:
+            self.add_operation(odef)
+
+    def add_operation(self, odef: OperationDef) -> None:
+        if odef.name in self.operations:
+            raise ConfigurationError(
+                f"duplicate operation {odef.name!r} on {self.name}"
+            )
+        self.operations[odef.name] = odef
+
+    def add_attribute(self, name: str, tc: TypeCode, readonly: bool = False,
+                      cpu_cost: float = DEFAULT_OP_COST) -> None:
+        """Model an IDL attribute as _get_/_set_ operations."""
+        self.add_operation(OperationDef(f"_get_{name}", (), tc,
+                                        cpu_cost=cpu_cost))
+        if not readonly:
+            self.add_operation(
+                OperationDef(f"_set_{name}", (ParamDef("value", tc),),
+                             tc_void, cpu_cost=cpu_cost)
+            )
+
+    def find_operation(self, name: str) -> Optional[OperationDef]:
+        odef = self.operations.get(name)
+        if odef is not None:
+            return odef
+        for base in self.bases:
+            odef = base.find_operation(name)
+            if odef is not None:
+                return odef
+        return None
+
+    def all_operations(self) -> dict[str, OperationDef]:
+        ops: dict[str, OperationDef] = {}
+        for base in self.bases:
+            ops.update(base.all_operations())
+        ops.update(self.operations)
+        return ops
+
+    def is_a(self, repo_id: str) -> bool:
+        if self.repo_id == repo_id:
+            return True
+        return any(base.is_a(repo_id) for base in self.bases)
+
+    def __repr__(self) -> str:
+        return f"<InterfaceDef {self.name} ({self.repo_id})>"
+
+
+class Servant:
+    """Base class for objects incarnated under an object adapter.
+
+    Subclasses set ``_interface`` (an :class:`InterfaceDef`) and define
+    one method per operation.  Methods receive the decoded ``in``/
+    ``inout`` arguments positionally; for operations with out/inout
+    parameters they return ``(result, out1, out2, ...)``; otherwise just
+    the result (or None for void).
+    """
+
+    _interface: InterfaceDef
+
+    def interface(self) -> InterfaceDef:
+        iface = getattr(self, "_interface", None)
+        if iface is None:
+            raise ConfigurationError(
+                f"{type(self).__name__} does not declare _interface"
+            )
+        return iface
+
+
+# -- user exception registry ---------------------------------------------------
+
+_EXC_BY_REPO_ID: dict[str, tuple[type[UserException], TypeCode]] = {}
+
+
+def register_exception(cls: type[UserException], tc: TypeCode) -> None:
+    """Register a UserException subclass so replies can reconstruct it."""
+    if tc.kind is not TCKind.EXCEPT:
+        raise ConfigurationError(f"{tc!r} is not an exception TypeCode")
+    if tuple(cls.FIELDS) != tuple(n for n, _ in tc.members):
+        raise ConfigurationError(
+            f"{cls.__name__}.FIELDS do not match TypeCode members"
+        )
+    _EXC_BY_REPO_ID[cls.REPO_ID] = (cls, tc)
+
+
+def exception_class(repo_id: str) -> Optional[tuple[type[UserException], TypeCode]]:
+    return _EXC_BY_REPO_ID.get(repo_id)
+
+
+def make_exception_class(name: str, tc: TypeCode) -> type[UserException]:
+    """Create (and register) a UserException subclass from an EXCEPT tc."""
+    cls = type(name, (UserException,), {
+        "REPO_ID": tc.repo_id,
+        "FIELDS": tuple(n for n, _ in tc.members),
+    })
+    register_exception(cls, tc)
+    return cls
+
+
+# -- stubs ---------------------------------------------------------------------
+
+class Stub:
+    """Client-side proxy: one method per operation returning kernel Events."""
+
+    def __init__(self, orb: "ORB", ior: IOR, interface: InterfaceDef) -> None:
+        self._orb = orb
+        self._ior = ior
+        self._iface = interface
+
+    @property
+    def ior(self) -> IOR:
+        return self._ior
+
+    @property
+    def stub_interface(self) -> InterfaceDef:
+        return self._iface
+
+    def __getattr__(self, name: str):
+        # Only called for attributes not found normally: operation lookup.
+        odef = self._iface.find_operation(name)
+        if odef is None:
+            raise AttributeError(
+                f"{self._iface.name} has no operation {name!r}"
+            )
+
+        def call(*args, _timeout: Optional[float] = None,
+                 _meter: Optional[str] = None) -> Event:
+            return self._orb.invoke(self._ior, odef, args,
+                                    timeout=_timeout, meter=_meter)
+
+        call.__name__ = name
+        return call
+
+    def __repr__(self) -> str:
+        return f"<Stub {self._iface.name} -> {self._ior}>"
+
+
+class ORB:
+    """One Object Request Broker per simulated host."""
+
+    def __init__(
+        self,
+        env: Environment,
+        network: Network,
+        host_id: str,
+        default_timeout: Optional[float] = None,
+    ) -> None:
+        self.env = env
+        self.network = network
+        self.host_id = host_id
+        self.host = network.topology.host(host_id)
+        self.metrics = network.metrics
+        self.default_timeout = default_timeout
+        self._iface = network.interface(host_id)
+        self._iface.bind("giop", self._on_message)
+        self._adapters: dict[str, "POA"] = {}
+        self._next_request_id = 0
+        #: request_id -> (reply event, OperationDef)
+        self._pending: dict[int, tuple[Event, OperationDef]] = {}
+        #: called with cpu-seconds on every dispatch (resource accounting)
+        self.dispatch_listeners: list[Callable[[float], None]] = []
+        self.host.on_crash.append(self._on_host_crash)
+
+    # -- adapters ----------------------------------------------------------
+    def adapter(self, name: str) -> "POA":
+        """Return (creating on first use) the named object adapter."""
+        poa = self._adapters.get(name)
+        if poa is None:
+            from repro.orb.poa import POA  # deferred: poa imports core
+
+            poa = POA(self, name)
+            self._adapters[name] = poa
+        return poa
+
+    def adapters(self) -> dict[str, "POA"]:
+        return dict(self._adapters)
+
+    # -- client side -------------------------------------------------------
+    def stub(self, ior: IOR, interface: InterfaceDef) -> Stub:
+        """Create a typed proxy for *ior* narrowed to *interface*."""
+        return Stub(self, ior, interface)
+
+    def invoke(
+        self,
+        ior: IOR,
+        odef: OperationDef,
+        args: Sequence[TAny],
+        timeout: Optional[float] = None,
+        meter: Optional[str] = None,
+    ) -> Event:
+        """Invoke *odef* on *ior*; returns an Event with the result.
+
+        Result shape: the operation result, or a tuple
+        ``(result, *out_values)`` when out/inout parameters exist
+        (result omitted entirely when void and outs exist).
+        ORB-level failures (timeout, unreachable peer) fail the event
+        with a pre-defused SystemException.
+        """
+        if timeout is None:
+            timeout = self.default_timeout
+        in_params = odef.in_params()
+        if len(args) != len(in_params):
+            raise BAD_PARAM(
+                f"{odef.name} expects {len(in_params)} args, got {len(args)}"
+            )
+        enc = CDREncoder()
+        for pdef, value in zip(in_params, args):
+            encode_value(enc, pdef.tc, value)
+
+        self._next_request_id += 1
+        request_id = self._next_request_id
+        request = giop.RequestMessage(
+            request_id=request_id,
+            response_expected=not odef.oneway,
+            host=ior.host_id,
+            adapter=ior.adapter,
+            object_key=ior.object_key,
+            operation=odef.name,
+            args=enc.getvalue(),
+        )
+        wire = request.encode()
+        self.metrics.counter("orb.requests").inc()
+        if meter is not None:
+            # Per-protocol bandwidth attribution (benchmarks rely on it).
+            self.metrics.counter(f"{meter}.msgs").inc()
+            self.metrics.counter(f"{meter}.bytes").inc(len(wire))
+
+        reply_event = self.env.event()
+        if odef.oneway:
+            self.network.send(self.host_id, ior.host_id, "giop", wire, len(wire))
+            reply_event.succeed(None)
+            return reply_event
+
+        self._pending[request_id] = (reply_event, odef)
+        self.network.send(self.host_id, ior.host_id, "giop", wire, len(wire))
+
+        if timeout is not None:
+            def expire(_ev, rid=request_id) -> None:
+                entry = self._pending.pop(rid, None)
+                if entry is None:
+                    return  # already answered
+                event, _odef = entry
+                self.metrics.counter("orb.timeouts").inc()
+                event.fail(TIMEOUT(
+                    f"no reply to {odef.name} on {ior.host_id} "
+                    f"within {timeout}s"
+                )).defused()
+
+            self.env.timeout(timeout).callbacks.append(expire)
+        return reply_event
+
+    def sync(self, event: Event):
+        """Run the simulation until *event* completes; return its value.
+
+        Only valid from outside the simulation (tests, examples).
+        """
+        return self.env.run(until=event)
+
+    def call(self, ior: IOR, odef: OperationDef, args: Sequence[TAny],
+             timeout: Optional[float] = None):
+        """Synchronous invoke: :meth:`invoke` + :meth:`sync`."""
+        return self.sync(self.invoke(ior, odef, args, timeout=timeout))
+
+    # -- message handling ------------------------------------------------------
+    def _on_message(self, msg: Message) -> None:
+        try:
+            decoded = giop.decode_message(msg.payload)
+        except SystemException:
+            self.metrics.counter("orb.bad_messages").inc()
+            return
+        if isinstance(decoded, giop.RequestMessage):
+            self.env.process(self._dispatch(decoded, msg.src))
+        else:
+            self._complete(decoded)
+
+    # -- server side -------------------------------------------------------------
+    def _dispatch(self, request: giop.RequestMessage, client: str):
+        """Process one inbound request (runs as a simulation process)."""
+        odef: Optional[OperationDef] = None
+        try:
+            poa = self._adapters.get(request.adapter)
+            if poa is None:
+                raise OBJECT_NOT_EXIST(f"no adapter {request.adapter!r}")
+            servant = poa.servant_for(request.object_key)
+            iface = servant.interface()
+            odef = iface.find_operation(request.operation)
+            if odef is None:
+                raise BAD_OPERATION(
+                    f"{iface.name} has no operation {request.operation!r}"
+                )
+            method = getattr(servant, request.operation, None)
+            if method is None:
+                raise NO_IMPLEMENT(
+                    f"{type(servant).__name__} lacks {request.operation!r}"
+                )
+            dec = CDRDecoder(request.args)
+            args = [decode_value(dec, p.tc) for p in odef.in_params()]
+
+            # Charge the operation's CPU cost at this host's speed.
+            cost_s = odef.cpu_cost / self.host.profile.cpu_power
+            for listener in self.dispatch_listeners:
+                listener(cost_s)
+            if cost_s > 0:
+                yield self.env.timeout(cost_s)
+
+            result = method(*args)
+            if hasattr(result, "send") and hasattr(result, "throw"):
+                # Servant method is a generator: drive it to completion.
+                result = yield self.env.process(result)
+
+            self.metrics.counter("orb.dispatches").inc()
+            if not request.response_expected:
+                return
+            body = self._encode_result(odef, result)
+            self._reply(client, request, giop.NO_EXCEPTION, body)
+        except UserException as exc:
+            if not request.response_expected or odef is None:
+                return
+            if not any(tc.repo_id == exc.REPO_ID for tc in odef.raises):
+                self._reply_system(client, request, UNKNOWN(
+                    f"undeclared user exception {exc.REPO_ID}"
+                ))
+                return
+            entry = exception_class(exc.REPO_ID)
+            if entry is None:
+                self._reply_system(client, request, UNKNOWN(
+                    f"unregistered exception {exc.REPO_ID}"
+                ))
+                return
+            _cls, tc = entry
+            enc = CDREncoder()
+            enc.write_string(exc.REPO_ID)
+            encode_value(enc, tc, dict(zip(exc.FIELDS, exc.field_values())))
+            self._reply(client, request, giop.USER_EXCEPTION, enc.getvalue())
+        except SystemException as exc:
+            if request.response_expected:
+                self._reply_system(client, request, exc)
+        except Exception as exc:  # servant bug -> UNKNOWN, as CORBA mandates
+            self.metrics.counter("orb.servant_errors").inc()
+            if request.response_expected:
+                self._reply_system(client, request, UNKNOWN(repr(exc)))
+
+    def _encode_result(self, odef: OperationDef, result) -> bytes:
+        outs = odef.out_params()
+        enc = CDREncoder()
+        if not outs:
+            encode_value(enc, odef.result, result)
+            return enc.getvalue()
+        # Normalize to (result?, *outs)
+        if odef.result.kind is TCKind.VOID:
+            values = result if isinstance(result, tuple) else (result,)
+            if len(values) != len(outs):
+                raise INTERNAL(
+                    f"{odef.name} must return {len(outs)} out values"
+                )
+            encode_value(enc, odef.result, None)
+        else:
+            if not isinstance(result, tuple) or len(result) != 1 + len(outs):
+                raise INTERNAL(
+                    f"{odef.name} must return (result, {len(outs)} outs)"
+                )
+            encode_value(enc, odef.result, result[0])
+            values = result[1:]
+        for pdef, value in zip(outs, values):
+            encode_value(enc, pdef.tc, value)
+        return enc.getvalue()
+
+    def _reply(self, client: str, request: giop.RequestMessage,
+               status: int, body: bytes) -> None:
+        reply = giop.ReplyMessage(request.request_id, status, body)
+        wire = reply.encode()
+        self.metrics.counter("orb.replies").inc()
+        self.network.send(self.host_id, client, "giop", wire, len(wire))
+
+    def _reply_system(self, client: str, request: giop.RequestMessage,
+                      exc: SystemException) -> None:
+        enc = CDREncoder()
+        enc.write_string(exc.repo_id)
+        enc.write_string(exc.reason or "")
+        enc.write_ulong(exc.minor)
+        enc.write_ulong(exc.completed)
+        self._reply(client, request, giop.SYSTEM_EXCEPTION, enc.getvalue())
+
+    # -- client-side completion ---------------------------------------------------
+    def _complete(self, reply: giop.ReplyMessage) -> None:
+        entry = self._pending.pop(reply.request_id, None)
+        if entry is None:
+            self.metrics.counter("orb.late_replies").inc()
+            return
+        event, odef = entry
+        try:
+            if reply.status == giop.NO_EXCEPTION:
+                event.succeed(self._decode_result(odef, reply.body))
+            elif reply.status == giop.USER_EXCEPTION:
+                dec = CDRDecoder(reply.body)
+                repo_id = dec.read_string()
+                entry2 = exception_class(repo_id)
+                if entry2 is None:
+                    event.fail(UNKNOWN(
+                        f"unknown user exception {repo_id}"
+                    )).defused()
+                    return
+                cls, tc = entry2
+                fields = decode_value(dec, tc)
+                event.fail(cls(**fields)).defused()
+            else:
+                dec = CDRDecoder(reply.body)
+                repo_id = dec.read_string()
+                reason = dec.read_string()
+                minor = dec.read_ulong()
+                completed = dec.read_ulong()
+                exc_cls = SYSTEM_EXCEPTIONS.get(repo_id, UNKNOWN)
+                event.fail(exc_cls(reason, minor, completed)).defused()
+        except SystemException as exc:
+            event.fail(exc).defused()
+
+    def _decode_result(self, odef: OperationDef, body: bytes):
+        dec = CDRDecoder(body)
+        result = decode_value(dec, odef.result)
+        outs = odef.out_params()
+        if not outs:
+            return result
+        values = tuple(decode_value(dec, p.tc) for p in outs)
+        if odef.result.kind is TCKind.VOID:
+            return values if len(values) > 1 else values[0]
+        return (result,) + values
+
+    # -- failure handling -----------------------------------------------------------
+    def _on_host_crash(self, _host) -> None:
+        """Fail every outstanding client request; the host is gone."""
+        pending, self._pending = self._pending, {}
+        for event, _odef in pending.values():
+            if not event.triggered:
+                event.fail(COMM_FAILURE("host crashed")).defused()

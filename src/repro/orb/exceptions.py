@@ -1,0 +1,125 @@
+"""CORBA exception model: system exceptions and user exceptions.
+
+System exceptions mirror the standard CORBA minor-code/completion-status
+shape; user exceptions are IDL-declared and marshalled by repository id.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ReproError
+
+# Completion status values (CORBA::CompletionStatus).
+COMPLETED_YES = 0
+COMPLETED_NO = 1
+COMPLETED_MAYBE = 2
+
+_STATUS_NAMES = {COMPLETED_YES: "YES", COMPLETED_NO: "NO", COMPLETED_MAYBE: "MAYBE"}
+
+
+class SystemException(ReproError):
+    """Base of the CORBA standard system exceptions."""
+
+    def __init__(self, reason: str = "", minor: int = 0,
+                 completed: int = COMPLETED_NO) -> None:
+        super().__init__(reason)
+        self.reason = reason
+        self.minor = minor
+        self.completed = completed
+
+    @property
+    def repo_id(self) -> str:
+        return f"IDL:omg.org/CORBA/{type(self).__name__}:1.0"
+
+    def __str__(self) -> str:
+        status = _STATUS_NAMES.get(self.completed, "?")
+        base = f"{type(self).__name__}(minor={self.minor}, completed={status})"
+        return f"{base}: {self.reason}" if self.reason else base
+
+
+class UNKNOWN(SystemException):
+    """The server raised something that is not a declared exception."""
+
+
+class BAD_PARAM(SystemException):
+    """An invalid parameter was passed."""
+
+
+class BAD_OPERATION(SystemException):
+    """The operation does not exist on the target interface."""
+
+
+class NO_IMPLEMENT(SystemException):
+    """The operation exists but is not implemented by the servant."""
+
+
+class COMM_FAILURE(SystemException):
+    """Communication was lost while the request was in flight."""
+
+
+class OBJECT_NOT_EXIST(SystemException):
+    """The object denoted by the reference has been destroyed."""
+
+
+class TRANSIENT(SystemException):
+    """The request could not be delivered; retrying may succeed."""
+
+
+class TIMEOUT(SystemException):
+    """The client-imposed deadline expired before a reply arrived."""
+
+
+class INV_OBJREF(SystemException):
+    """The object reference is malformed."""
+
+
+class NO_RESOURCES(SystemException):
+    """The target lacks the resources to honour the request."""
+
+
+class INTERNAL(SystemException):
+    """ORB-internal inconsistency."""
+
+
+#: repo-id -> class, for unmarshalling replies.
+SYSTEM_EXCEPTIONS: dict[str, type[SystemException]] = {
+    cls().repo_id: cls
+    for cls in (
+        UNKNOWN, BAD_PARAM, BAD_OPERATION, NO_IMPLEMENT, COMM_FAILURE,
+        OBJECT_NOT_EXIST, TRANSIENT, TIMEOUT, INV_OBJREF, NO_RESOURCES,
+        INTERNAL,
+    )
+}
+
+
+class UserException(ReproError):
+    """Base of IDL-declared exceptions.
+
+    Subclasses set ``REPO_ID`` and ``FIELDS`` (tuple of member names);
+    the IDL compiler generates such subclasses, and hand-written service
+    code can declare them directly.
+    """
+
+    REPO_ID: str = "IDL:repro/UserException:1.0"
+    FIELDS: tuple[str, ...] = ()
+
+    def __init__(self, *args, **kwargs) -> None:
+        names = list(self.FIELDS)
+        if len(args) > len(names):
+            raise TypeError(
+                f"{type(self).__name__} takes at most {len(names)} args"
+            )
+        values = dict(zip(names, args))
+        for key, val in kwargs.items():
+            if key not in names:
+                raise TypeError(f"unexpected field {key!r}")
+            if key in values:
+                raise TypeError(f"duplicate field {key!r}")
+            values[key] = val
+        for name in names:
+            setattr(self, name, values.get(name))
+        super().__init__(
+            ", ".join(f"{n}={values.get(n)!r}" for n in names)
+        )
+
+    def field_values(self) -> list:
+        return [getattr(self, n) for n in self.FIELDS]

@@ -1,0 +1,104 @@
+"""GIOP-style message framing for the ORB.
+
+Requests and replies are fully CDR-encoded; the encoded byte string is
+what travels across the simulated network, so wire sizes are real and
+the decoder is exercised on every message.
+
+Message grammar (all CDR, big-endian):
+
+    message   := octet msg_type, body
+    request   := ulong request_id, boolean response_expected,
+                 string host, string adapter, string object_key,
+                 string operation, octetseq args
+    reply     := ulong request_id, ulong status, octetseq body
+
+Reply status is one of NO_EXCEPTION / USER_EXCEPTION / SYSTEM_EXCEPTION;
+user exception bodies carry ``string repo_id`` then the members, system
+exception bodies carry ``string repo_id, string reason, ulong minor,
+ulong completed``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.orb.cdr import CDRDecoder, CDREncoder
+from repro.orb.exceptions import BAD_PARAM
+
+MSG_REQUEST = 0
+MSG_REPLY = 1
+
+NO_EXCEPTION = 0
+USER_EXCEPTION = 1
+SYSTEM_EXCEPTION = 2
+
+_VALID_STATUS = (NO_EXCEPTION, USER_EXCEPTION, SYSTEM_EXCEPTION)
+
+
+@dataclass(frozen=True)
+class RequestMessage:
+    """A GIOP Request: invoke *operation* on (host, adapter, object_key)."""
+
+    request_id: int
+    response_expected: bool
+    host: str
+    adapter: str
+    object_key: str
+    operation: str
+    args: bytes  # CDR encapsulation of in/inout parameters
+
+    def encode(self) -> bytes:
+        enc = CDREncoder()
+        enc.write_octet(MSG_REQUEST)
+        enc.write_ulong(self.request_id)
+        enc.write_boolean(self.response_expected)
+        enc.write_string(self.host)
+        enc.write_string(self.adapter)
+        enc.write_string(self.object_key)
+        enc.write_string(self.operation)
+        enc.write_octet_sequence(self.args)
+        return enc.getvalue()
+
+
+@dataclass(frozen=True)
+class ReplyMessage:
+    """A GIOP Reply matching a request by id."""
+
+    request_id: int
+    status: int
+    body: bytes
+
+    def __post_init__(self) -> None:
+        if self.status not in _VALID_STATUS:
+            raise BAD_PARAM(f"invalid reply status {self.status}")
+
+    def encode(self) -> bytes:
+        enc = CDREncoder()
+        enc.write_octet(MSG_REPLY)
+        enc.write_ulong(self.request_id)
+        enc.write_ulong(self.status)
+        enc.write_octet_sequence(self.body)
+        return enc.getvalue()
+
+
+def decode_message(data: bytes) -> "RequestMessage | ReplyMessage":
+    """Decode either message kind from its wire form."""
+    dec = CDRDecoder(data)
+    msg_type = dec.read_octet()
+    if msg_type == MSG_REQUEST:
+        return RequestMessage(
+            request_id=dec.read_ulong(),
+            response_expected=dec.read_boolean(),
+            host=dec.read_string(),
+            adapter=dec.read_string(),
+            object_key=dec.read_string(),
+            operation=dec.read_string(),
+            args=dec.read_octet_sequence(),
+        )
+    if msg_type == MSG_REPLY:
+        return ReplyMessage(
+            request_id=dec.read_ulong(),
+            status=dec.read_ulong(),
+            body=dec.read_octet_sequence(),
+        )
+    raise BAD_PARAM(f"unknown GIOP message type {msg_type}")

@@ -1,0 +1,80 @@
+"""Client-side retry policies over ORB invocations.
+
+CORBA's TRANSIENT/TIMEOUT semantics say "retrying may succeed"; this
+module packages the standard client loop (bounded attempts, exponential
+backoff) so protocol code and applications don't hand-roll it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.orb.core import ORB, OperationDef
+from repro.orb.exceptions import (
+    COMM_FAILURE,
+    SystemException,
+    TIMEOUT,
+    TRANSIENT,
+)
+from repro.orb.ior import IOR
+
+#: Exception types it makes sense to retry; anything else (BAD_PARAM,
+#: user exceptions...) is a real answer and propagates immediately.
+RETRYABLE = (TRANSIENT, TIMEOUT, COMM_FAILURE)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How persistently to retry a remote call."""
+
+    attempts: int = 3
+    timeout: float = 2.0          # per attempt
+    backoff: float = 0.5          # sleep before retry #1
+    backoff_factor: float = 2.0   # multiplied per further retry
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("need at least one attempt")
+
+    def delay_before(self, retry_index: int) -> float:
+        """Backoff before the given retry (retry_index >= 1)."""
+        return self.backoff * (self.backoff_factor ** (retry_index - 1))
+
+
+def invoke_with_retry(orb: ORB, ior: IOR, odef: OperationDef,
+                      args: Sequence[Any],
+                      policy: Optional[RetryPolicy] = None,
+                      meter: Optional[str] = None):
+    """Generator: invoke with retries; yields events, returns the result.
+
+    Use from simulation processes::
+
+        result = yield from invoke_with_retry(orb, ior, odef, args)
+
+    Raises the last retryable exception once attempts are exhausted.
+    """
+    policy = policy or RetryPolicy()
+    last_exc: Optional[SystemException] = None
+    for attempt in range(policy.attempts):
+        if attempt > 0:
+            orb.metrics.counter("orb.retries").inc()
+            yield orb.env.timeout(policy.delay_before(attempt))
+        try:
+            result = yield orb.invoke(ior, odef, args,
+                                      timeout=policy.timeout,
+                                      meter=meter)
+            return result
+        except RETRYABLE as exc:
+            last_exc = exc
+            continue
+    assert last_exc is not None
+    raise last_exc
+
+
+def call_with_retry(orb: ORB, ior: IOR, odef: OperationDef,
+                    args: Sequence[Any],
+                    policy: Optional[RetryPolicy] = None):
+    """Synchronous variant for test/driver code outside the simulation."""
+    return orb.sync(orb.env.process(
+        invoke_with_retry(orb, ior, odef, args, policy=policy)))

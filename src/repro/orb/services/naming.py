@@ -1,0 +1,75 @@
+"""A CosNaming-flavoured naming service.
+
+Names are ``/``-separated paths bound to stringified IORs.  The service
+is an ordinary servant, so looking up a name is a remote invocation with
+real marshalling cost — exactly like resolving against a CosNaming
+context.
+"""
+
+from __future__ import annotations
+
+from repro.orb.core import InterfaceDef, Servant, make_exception_class, op
+from repro.orb.typecodes import (
+    except_tc,
+    sequence_tc,
+    tc_objref,
+    tc_string,
+)
+
+_NOT_FOUND_TC = except_tc(
+    "NotFound", [("rest_of_name", tc_string)],
+    repo_id="IDL:omg.org/CosNaming/NamingContext/NotFound:1.0",
+)
+_ALREADY_BOUND_TC = except_tc(
+    "AlreadyBound", [("name", tc_string)],
+    repo_id="IDL:omg.org/CosNaming/NamingContext/AlreadyBound:1.0",
+)
+
+NotFound = make_exception_class("NotFound", _NOT_FOUND_TC)
+AlreadyBound = make_exception_class("AlreadyBound", _ALREADY_BOUND_TC)
+
+NAMING_IFACE = InterfaceDef(
+    "IDL:omg.org/CosNaming/NamingContext:1.0",
+    "NamingContext",
+    operations=[
+        op("bind", [("name", tc_string), ("obj", tc_objref)],
+           raises=[_ALREADY_BOUND_TC]),
+        op("rebind", [("name", tc_string), ("obj", tc_objref)]),
+        op("resolve", [("name", tc_string)], tc_objref,
+           raises=[_NOT_FOUND_TC]),
+        op("unbind", [("name", tc_string)], raises=[_NOT_FOUND_TC]),
+        op("list", [("prefix", tc_string)], sequence_tc(tc_string)),
+    ],
+)
+
+
+class NamingServant(Servant):
+    """In-memory name -> object-reference table."""
+
+    _interface = NAMING_IFACE
+
+    def __init__(self) -> None:
+        self._bindings: dict[str, object] = {}
+
+    def bind(self, name: str, obj) -> None:
+        if name in self._bindings:
+            raise AlreadyBound(name)
+        self._bindings[name] = obj
+
+    def rebind(self, name: str, obj) -> None:
+        self._bindings[name] = obj
+
+    def resolve(self, name: str):
+        try:
+            return self._bindings[name]
+        except KeyError:
+            raise NotFound(name) from None
+
+    def unbind(self, name: str) -> None:
+        try:
+            del self._bindings[name]
+        except KeyError:
+            raise NotFound(name) from None
+
+    def list(self, prefix: str) -> list[str]:
+        return sorted(n for n in self._bindings if n.startswith(prefix))

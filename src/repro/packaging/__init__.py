@@ -1,0 +1,34 @@
+"""Component packaging: self-contained binary units (§2.3).
+
+Components ship as real ZIP archives holding the component "binaries"
+(one per platform), the IDL sources, and the XML descriptors:
+
+- :mod:`repro.packaging.binaries` — the executable-content registry (the
+  stand-in for OS dynamic loading of DLLs / .class files / TCL scripts)
+  and synthetic payload generation.
+- :mod:`repro.packaging.signature` — vendor signing and verification
+  ("the installer must be sure of who really made this component",
+  §2.1.1).
+- :mod:`repro.packaging.package` — building, reading, validating,
+  compressing and *partially extracting* packages ("extracting only a
+  set of binaries from the whole component ... to be installed in
+  devices with a tiny memory, such as PDAs", §2.3).
+"""
+
+from repro.packaging.binaries import BinaryRegistry, synthetic_payload
+from repro.packaging.package import (
+    ComponentPackage,
+    PackageBuilder,
+    PackageError,
+)
+from repro.packaging.signature import SignatureError, VendorKeyRegistry
+
+__all__ = [
+    "BinaryRegistry",
+    "synthetic_payload",
+    "ComponentPackage",
+    "PackageBuilder",
+    "PackageError",
+    "VendorKeyRegistry",
+    "SignatureError",
+]

@@ -1,0 +1,252 @@
+"""Network-wide dependency resolution (§2.4.3).
+
+"When component instances start running, they may ask their container
+for some required components.  These components are searched in the
+whole network.  ...  Once the 'set' of best suited components have been
+found, the network must select one of them ...  Once selected, the
+network can decide either to instantiate the component in its original
+node or to fetch the component to be locally installed, instantiated
+and run."
+
+:class:`NetworkResolver` implements that pipeline over the MRM
+hierarchy; :class:`FloodResolver` is the flat baseline that asks every
+node directly (what you do without MRMs — the C3 benchmark contrasts
+the two).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.node.registry import COMPONENT_REGISTRY_IFACE
+from repro.node.resources import RESOURCE_MANAGER_IFACE, ResourceSnapshot
+from repro.packaging.package import ComponentPackage
+from repro.orb.exceptions import SystemException, TRANSIENT
+from repro.orb.ior import IOR
+from repro.registry.mrm import MRM_IFACE, MrmConfig
+from repro.registry.view import Candidate
+from repro.sim.kernel import Event
+from repro.util.errors import ConfigurationError
+from repro.xmlmeta.descriptors import QoSSpec
+
+#: Above this required stream bandwidth (bytes/s) the "auto" policy
+#: fetches the component to run next to its consumer — the paper's MPEG
+#: decoder example.
+FETCH_BANDWIDTH_THRESHOLD = 1_000_000.0
+
+_QUERY = MRM_IFACE.operations["query"]
+
+
+def select_candidate(candidates: Sequence[Candidate],
+                     prefer_host: str) -> Candidate:
+    """Pick the best of a candidate set.
+
+    Order of preference: a running instance beats instantiating a new
+    one; the requester's own host beats remote; bigger free CPU beats
+    smaller; tiny devices are used only as a last resort.
+    """
+    if not candidates:
+        raise ConfigurationError("empty candidate set")
+
+    def score(c: Candidate):
+        return (
+            1 if c.is_running else 0,
+            1 if c.host == prefer_host else 0,
+            0 if c.is_tiny else 1,
+            c.free_cpu,
+        )
+    return max(candidates, key=score)
+
+
+class ResolverBase:
+    """Shared materialization logic: candidate -> facet IOR."""
+
+    def __init__(self, node, config: MrmConfig,
+                 placement: str = "auto") -> None:
+        if placement not in ("auto", "remote", "fetch"):
+            raise ConfigurationError(f"bad placement policy {placement!r}")
+        self.node = node
+        self.config = config
+        self.placement = placement
+
+    def resolve(self, repo_id: str, qos: Optional[QoSSpec] = None) -> Event:
+        """Returns a process event yielding the provider's facet IOR."""
+        return self.node.env.process(
+            self._resolve(repo_id, qos or QoSSpec()))
+
+    # subclasses implement _find(repo_id, qos) -> generator of candidates
+    def _find(self, repo_id: str, qos: QoSSpec):
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def _resolve(self, repo_id: str, qos: QoSSpec):
+        node = self.node
+        node.metrics.counter("resolver.requests").inc()
+        # Locality fast path: anything already on this node wins.
+        running_here = node.registry.running_providers(repo_id)
+        if running_here:
+            node.metrics.counter("resolver.local_hits").inc()
+            return IOR.from_string(running_here[0])
+        local_classes = node.repository.providers_of(repo_id)
+        for cls in local_classes:
+            if node.resources.fits(cls.component_type.qos):
+                node.metrics.counter("resolver.local_hits").inc()
+                return self._instantiate_locally(cls.name, repo_id)
+
+        candidates = yield from self._find(repo_id, qos)
+        if not candidates:
+            raise TRANSIENT(f"no provider for {repo_id!r} in the network")
+        best = select_candidate(candidates, prefer_host=node.host_id)
+        if best.is_running:
+            node.metrics.counter("resolver.reused_running").inc()
+            return IOR.from_string(best.running_ior)
+        result = yield from self._materialize(best, repo_id, qos)
+        return result
+
+    # -- materialization -----------------------------------------------------
+    def _should_fetch(self, best: Candidate, qos: QoSSpec) -> bool:
+        if best.host == self.node.host_id:
+            return False
+        if best.mobility != "mobile":
+            return False
+        if self.placement == "fetch":
+            return True
+        if self.placement == "remote":
+            return False
+        return qos.bandwidth_bps >= FETCH_BANDWIDTH_THRESHOLD
+
+    def _materialize(self, best: Candidate, repo_id: str, qos: QoSSpec):
+        node = self.node
+        if self._should_fetch(best, qos):
+            # Bring the binary here: fetch + install + local instance.
+            node.metrics.counter("resolver.fetched").inc()
+            yield from self._fetch_closure(best.host, best.component)
+            return self._instantiate_locally(best.component, repo_id)
+        # Instantiate at the candidate's node.
+        node.metrics.counter("resolver.remote_instances").inc()
+        return (yield from self._create_remote(best, repo_id))
+
+    def _fetch_closure(self, source_host: str, component: str):
+        """Fetch *component* and, transitively, its declared
+        dependencies (§2: "the network as a whole must be used as a
+        repository for resolving component requirements")."""
+        node = self.node
+        acceptor = node.service_stub(source_host, "acceptor")
+        pending = [component]
+        while pending:
+            name = pending.pop()
+            if node.repository.is_installed(name):
+                continue
+            try:
+                pkg_bytes = yield acceptor.fetch(name, "")
+            except SystemException:
+                continue  # optional/missing dependency at the source
+            package = ComponentPackage(pkg_bytes)
+            node.repository.install(package)
+            node.metrics.counter("resolver.closure_installs").inc()
+            for dep in package.software.dependencies:
+                pending.append(dep.component)
+
+    def _create_remote(self, best: Candidate, repo_id: str):
+        node = self.node
+        agent = node.service_stub(best.host, "container")
+        info = yield agent.create_instance(best.component, "", "")
+        for port in info["ports"]:
+            if port["kind"] == "facet" and port["type_id"] == repo_id:
+                return IOR.from_string(port["peer"])
+        raise TRANSIENT(
+            f"instance of {best.component} exposes no {repo_id!r} facet"
+        )
+
+    def _instantiate_locally(self, component: str, repo_id: str) -> IOR:
+        instance = self.node.container.create_instance(component)
+        for facet in instance.ports.facets():
+            if facet.repo_id == repo_id:
+                return facet.ior
+        raise TRANSIENT(
+            f"instance of {component} exposes no {repo_id!r} facet"
+        )
+
+
+class NetworkResolver(ResolverBase):
+    """Resolution through the group's MRM replicas (hierarchical)."""
+
+    def __init__(self, node, mrm_iors: Sequence[IOR], config: MrmConfig,
+                 placement: str = "auto") -> None:
+        super().__init__(node, config, placement)
+        self.mrm_iors = list(mrm_iors)
+
+    def retarget(self, mrm_iors: Sequence[IOR]) -> None:
+        self.mrm_iors = list(mrm_iors)
+
+    def _find(self, repo_id: str, qos: QoSSpec):
+        node = self.node
+        for mrm in self.mrm_iors:  # replicas in failover order
+            try:
+                values = yield node.orb.invoke(
+                    mrm, _QUERY,
+                    (repo_id, qos.cpu_units, qos.memory_mb,
+                     qos.bandwidth_bps, self.config.query_ttl, ""),
+                    timeout=self.config.query_timeout,
+                    meter="registry.query")
+                return [Candidate.from_value(v) for v in values]
+            except SystemException:
+                node.metrics.counter("resolver.mrm_failover").inc()
+                continue
+        raise TRANSIENT("no MRM replica answered the query")
+
+
+_RUNNING = COMPONENT_REGISTRY_IFACE.operations["running_providers"]
+_FINDERS = COMPONENT_REGISTRY_IFACE.operations["find_providers"]
+_SNAPSHOT = RESOURCE_MANAGER_IFACE.operations["snapshot"]
+
+
+class FloodResolver(ResolverBase):
+    """Flat baseline: interrogate every node's registry directly."""
+
+    def __init__(self, node, all_hosts: Sequence[str], config: MrmConfig,
+                 placement: str = "auto") -> None:
+        super().__init__(node, config, placement)
+        self.all_hosts = [h for h in all_hosts if h != node.host_id]
+
+    def _find(self, repo_id: str, qos: QoSSpec):
+        from repro.node.node import Node
+        node = self.node
+        candidates: list[Candidate] = []
+        for host in self.all_hosts:
+            registry_ior = Node.service_ior(host, "registry")
+            try:
+                running = yield node.orb.invoke(
+                    registry_ior, _RUNNING, (repo_id,),
+                    timeout=self.config.query_timeout,
+                    meter="registry.flood")
+                names = yield node.orb.invoke(
+                    registry_ior, _FINDERS, (repo_id,),
+                    timeout=self.config.query_timeout,
+                    meter="registry.flood")
+            except SystemException:
+                continue
+            if not running and not names:
+                continue
+            resources_ior = Node.service_ior(host, "resources")
+            try:
+                snap_value = yield node.orb.invoke(
+                    resources_ior, _SNAPSHOT, (),
+                    timeout=self.config.query_timeout,
+                    meter="registry.flood")
+            except SystemException:
+                continue
+            snap = ResourceSnapshot.from_value(snap_value)
+            if qos.cpu_units and snap.cpu_available < qos.cpu_units:
+                continue
+            candidates.append(Candidate(
+                host=host,
+                component=names[0] if names else "",
+                version="",
+                running_ior=running[0] if running else "",
+                mobility="mobile",
+                free_cpu=snap.cpu_available,
+                free_memory=snap.memory_available,
+                is_tiny=snap.is_tiny,
+            ))
+        return candidates

@@ -1,0 +1,97 @@
+"""Strong-consistency baseline (what §2.4.3 argues against).
+
+"Strong" here means the MRM is told about *every* change immediately
+and reliably: each repository/container change triggers an acknowledged
+update (retried on timeout), and a fast heartbeat keeps liveness
+knowledge tight.  The consistency benchmark (C4) contrasts this
+protocol's bandwidth with the soft-state reporter's.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.orb.exceptions import SystemException
+from repro.orb.ior import IOR
+from repro.registry.mrm import MRM_IFACE, MrmConfig
+from repro.registry.view import NodeView
+from repro.sim.kernel import Interrupt
+
+METER = "registry.strong"
+
+#: The report op is oneway by design; the strong protocol wants an
+#: acknowledged update, so it uses member_hosts() as a cheap synchronous
+#: barrier after each report (real systems would have an acked update
+#: op; the message count is the same: request + reply).
+_REPORT = MRM_IFACE.operations["report"]
+_ACK = MRM_IFACE.operations["member_hosts"]
+
+
+class StrongStateReporter:
+    """Immediate, acknowledged change propagation + fast heartbeats."""
+
+    def __init__(self, node, mrm_iors: Sequence[IOR], config: MrmConfig,
+                 heartbeat_divisor: float = 5.0, retries: int = 2,
+                 meter: str = METER) -> None:
+        self.node = node
+        self.mrm_iors = list(mrm_iors)
+        self.config = config
+        self.heartbeat = config.update_interval / heartbeat_divisor
+        self.retries = retries
+        self.meter = meter
+        self.reports_sent = 0
+        self.acks_received = 0
+        self._procs = []
+        self._start()
+        node.repository.listeners.append(self._on_change)
+        node.container.listeners.append(self._on_change)
+        node.host.on_crash.append(self._on_crash)
+        node.host.on_restart.append(self._on_restart)
+
+    def _start(self) -> None:
+        self._procs = [self.node.env.process(self._heartbeat_loop())]
+
+    def _on_crash(self, _host) -> None:
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.interrupt("host crashed")
+        self._procs = []
+
+    def _on_restart(self, _host) -> None:
+        self._start()
+
+    def _on_change(self, _action, _subject) -> None:
+        if not self.node.alive:
+            return
+        self._procs.append(self.node.env.process(self._send_acked()))
+        self._procs = [p for p in self._procs if p.is_alive]
+
+    def _send_acked(self):
+        view = NodeView.collect(self.node).to_value()
+        for mrm in self.mrm_iors:
+            for attempt in range(1 + self.retries):
+                self.node.orb.invoke(mrm, _REPORT,
+                                     (self.node.host_id, view),
+                                     meter=self.meter)
+                self.reports_sent += 1
+                try:
+                    yield self.node.orb.invoke(
+                        mrm, _ACK, (), timeout=self.config.query_timeout,
+                        meter=self.meter)
+                    self.acks_received += 1
+                    break
+                except SystemException:
+                    continue  # retry the update
+
+    def _heartbeat_loop(self):
+        try:
+            while True:
+                yield self.node.env.timeout(self.heartbeat)
+                view = NodeView.collect(self.node).to_value()
+                for mrm in self.mrm_iors:
+                    self.node.orb.invoke(mrm, _REPORT,
+                                         (self.node.host_id, view),
+                                         meter=self.meter)
+                self.reports_sent += 1
+        except Interrupt:
+            return

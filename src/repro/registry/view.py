@@ -1,0 +1,181 @@
+"""Wire-level views the Distributed Registry trades in.
+
+A :class:`NodeView` is what one node publishes to its Meta-Resource
+Manager: its resource snapshot, installed components and running
+providers ("the meta-data given by the Reflection Architecture in each
+node", §2.4.3).  A :class:`Candidate` is one answer to a distributed
+component query.  An :class:`Aggregate` is the compressed subtree
+summary a child MRM reports to its parent — the hierarchy's bandwidth
+saving comes precisely from this compression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.components.reflection import COMPONENT_INFO_TC, ComponentInfo
+from repro.node.resources import RESOURCE_SNAPSHOT_TC, ResourceSnapshot
+from repro.orb.typecodes import (
+    sequence_tc,
+    struct_tc,
+    tc_boolean,
+    tc_double,
+    tc_string,
+)
+
+RUNNING_PROVIDER_TC = struct_tc("RunningProvider", [
+    ("repo_id", tc_string),
+    ("ior", tc_string),
+], repo_id="IDL:corbalc/Registry/RunningProvider:1.0")
+
+NODE_VIEW_TC = struct_tc("NodeView", [
+    ("snapshot", RESOURCE_SNAPSHOT_TC),
+    ("components", sequence_tc(COMPONENT_INFO_TC)),
+    ("running", sequence_tc(RUNNING_PROVIDER_TC)),
+    ("generation", tc_double),
+], repo_id="IDL:corbalc/Registry/NodeView:1.0")
+
+CANDIDATE_TC = struct_tc("Candidate", [
+    ("host", tc_string),
+    ("component", tc_string),
+    ("version", tc_string),
+    ("running_ior", tc_string),     # "" when only installed, not running
+    ("mobility", tc_string),
+    ("free_cpu", tc_double),
+    ("free_memory", tc_double),
+    ("is_tiny", tc_boolean),
+    ("group", tc_string),           # group the answer came from
+], repo_id="IDL:corbalc/Registry/Candidate:1.0")
+
+AGGREGATE_TC = struct_tc("Aggregate", [
+    ("group", tc_string),
+    ("mrm_host", tc_string),
+    ("repo_ids", sequence_tc(tc_string)),   # providable interfaces
+    ("free_cpu", tc_double),                # best single-host free CPU
+    ("member_count", tc_double),
+], repo_id="IDL:corbalc/Registry/Aggregate:1.0")
+
+
+@dataclass(frozen=True)
+class NodeView:
+    snapshot: ResourceSnapshot
+    components: tuple[ComponentInfo, ...]
+    running: tuple[tuple[str, str], ...]   # (repo_id, ior)
+    generation: float
+
+    def to_value(self) -> dict:
+        return {
+            "snapshot": self.snapshot.to_value(),
+            "components": [c.to_value() for c in self.components],
+            "running": [{"repo_id": r, "ior": i} for r, i in self.running],
+            "generation": self.generation,
+        }
+
+    @classmethod
+    def from_value(cls, value: dict) -> "NodeView":
+        return cls(
+            snapshot=ResourceSnapshot.from_value(value["snapshot"]),
+            components=tuple(ComponentInfo.from_value(c)
+                             for c in value["components"]),
+            running=tuple((r["repo_id"], r["ior"])
+                          for r in value["running"]),
+            generation=value["generation"],
+        )
+
+    @classmethod
+    def collect(cls, node) -> "NodeView":
+        """Capture this node's current view (reflection architecture)."""
+        registry = node.registry
+        running = []
+        for info in registry.instances():
+            for port in info.ports:
+                if port.kind == "facet" and port.peer:
+                    running.append((port.type_id, port.peer))
+        return cls(
+            snapshot=node.resources.snapshot(),
+            components=tuple(registry.installed()),
+            running=tuple(running),
+            generation=float(registry.generation),
+        )
+
+    def provides(self, repo_id: str) -> bool:
+        if any(r == repo_id for r, _ in self.running):
+            return True
+        return any(repo_id in c.provides for c in self.components)
+
+
+@dataclass(frozen=True)
+class Candidate:
+    host: str
+    component: str
+    version: str
+    running_ior: str
+    mobility: str
+    free_cpu: float
+    free_memory: float
+    is_tiny: bool
+    group: str = ""
+
+    @property
+    def is_running(self) -> bool:
+        return bool(self.running_ior)
+
+    def to_value(self) -> dict:
+        return {
+            "host": self.host, "component": self.component,
+            "version": self.version, "running_ior": self.running_ior,
+            "mobility": self.mobility, "free_cpu": self.free_cpu,
+            "free_memory": self.free_memory, "is_tiny": self.is_tiny,
+            "group": self.group,
+        }
+
+    @classmethod
+    def from_value(cls, value: dict) -> "Candidate":
+        return cls(**value)
+
+    @classmethod
+    def from_view(cls, view: NodeView, repo_id: str,
+                  group: str = "") -> "list[Candidate]":
+        """All candidates a node's view offers for *repo_id*."""
+        out: list[Candidate] = []
+        snap = view.snapshot
+        running_by_repo: dict[str, str] = {}
+        for rid, ior in view.running:
+            running_by_repo.setdefault(rid, ior)
+        for comp in view.components:
+            if repo_id not in comp.provides:
+                continue
+            out.append(cls(
+                host=snap.host, component=comp.name, version=comp.version,
+                running_ior=running_by_repo.get(repo_id, ""),
+                mobility=comp.mobility,
+                free_cpu=snap.cpu_available,
+                free_memory=snap.memory_available,
+                is_tiny=snap.is_tiny, group=group,
+            ))
+        return out
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """Compressed subtree summary a child MRM sends its parent."""
+
+    group: str
+    mrm_host: str
+    repo_ids: tuple[str, ...]
+    free_cpu: float
+    member_count: float
+
+    def to_value(self) -> dict:
+        return {
+            "group": self.group, "mrm_host": self.mrm_host,
+            "repo_ids": list(self.repo_ids), "free_cpu": self.free_cpu,
+            "member_count": self.member_count,
+        }
+
+    @classmethod
+    def from_value(cls, value: dict) -> "Aggregate":
+        return cls(group=value["group"], mrm_host=value["mrm_host"],
+                   repo_ids=tuple(value["repo_ids"]),
+                   free_cpu=value["free_cpu"],
+                   member_count=value["member_count"])

@@ -1,0 +1,112 @@
+"""Fault injection: crashes, restarts, link cuts, partitions, churn.
+
+The paper demands protocols that "support spurious node failures and
+node disconnections (and re-connections) gracefully" (§2.4.3); this
+module produces exactly those event patterns, deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
+from repro.sim.topology import Topology
+
+
+class FaultInjector:
+    """Scheduled, scripted faults against a topology."""
+
+    def __init__(self, env: Environment, topology: Topology) -> None:
+        self.env = env
+        self.topology = topology
+        self.log: list[tuple[float, str, str]] = []
+
+    # -- immediate --------------------------------------------------------
+    def crash_host(self, host_id: str) -> None:
+        self.topology.set_host_state(host_id, alive=False)
+        self.log.append((self.env.now, "crash", host_id))
+
+    def restart_host(self, host_id: str) -> None:
+        self.topology.set_host_state(host_id, alive=True)
+        self.log.append((self.env.now, "restart", host_id))
+
+    def cut_link(self, a: str, b: str) -> None:
+        self.topology.set_link_state(a, b, up=False)
+        self.log.append((self.env.now, "cut", f"{a}|{b}"))
+
+    def heal_link(self, a: str, b: str) -> None:
+        self.topology.set_link_state(a, b, up=True)
+        self.log.append((self.env.now, "heal", f"{a}|{b}"))
+
+    def partition(self, group_a: Iterable[str], group_b: Iterable[str]) -> list[tuple[str, str]]:
+        """Cut every link crossing the two host groups; returns the cuts."""
+        set_a, set_b = set(group_a), set(group_b)
+        cut = []
+        for link in self.topology.links():
+            if (link.a in set_a and link.b in set_b) or (
+                link.a in set_b and link.b in set_a
+            ):
+                if link.up:
+                    self.cut_link(link.a, link.b)
+                    cut.append((link.a, link.b))
+        return cut
+
+    def heal_partition(self, cuts: Iterable[tuple[str, str]]) -> None:
+        for a, b in cuts:
+            self.heal_link(a, b)
+
+    # -- scheduled ----------------------------------------------------------
+    def crash_at(self, time: float, host_id: str) -> None:
+        self._at(time, lambda: self.crash_host(host_id))
+
+    def restart_at(self, time: float, host_id: str) -> None:
+        self._at(time, lambda: self.restart_host(host_id))
+
+    def cut_link_at(self, time: float, a: str, b: str) -> None:
+        self._at(time, lambda: self.cut_link(a, b))
+
+    def _at(self, time: float, action) -> None:
+        delay = time - self.env.now
+        if delay < 0:
+            raise ValueError(f"fault time {time} is in the past")
+        self.env.timeout(delay).callbacks.append(lambda _ev: action())
+
+
+class ChurnModel:
+    """Random crash/restart churn over a set of hosts.
+
+    Each selected host independently alternates between up-time drawn
+    from Exp(mean_uptime) and down-time drawn from Exp(mean_downtime).
+    Determinism comes from the named RNG stream.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        injector: FaultInjector,
+        rngs: RngRegistry,
+        hosts: Iterable[str],
+        mean_uptime: float,
+        mean_downtime: float,
+        protected: Optional[Iterable[str]] = None,
+    ) -> None:
+        self.env = env
+        self.injector = injector
+        self.rng = rngs.stream("churn")
+        self.mean_uptime = mean_uptime
+        self.mean_downtime = mean_downtime
+        protected_set = set(protected or ())
+        self.hosts = [h for h in hosts if h not in protected_set]
+        self.crashes = 0
+        self.restarts = 0
+        self._procs = [env.process(self._churn(h)) for h in self.hosts]
+
+    def _churn(self, host_id: str):
+        while True:
+            yield self.env.timeout(float(self.rng.exponential(self.mean_uptime)))
+            self.injector.crash_host(host_id)
+            self.crashes += 1
+            yield self.env.timeout(float(self.rng.exponential(self.mean_downtime)))
+            self.injector.restart_host(host_id)
+            self.restarts += 1

@@ -1,0 +1,205 @@
+"""Store-and-forward message delivery over a :class:`Topology`.
+
+Delivery time of a message along a route is computed hop by hop:
+
+    arrival(hop k) = max(arrival(hop k-1), link.busy_until)
+                     + size / link.bandwidth + link.latency
+
+i.e. each link serializes messages FIFO at its bandwidth and then adds
+propagation latency.  The whole journey is computed when the message is
+sent (no per-hop events), which keeps large simulations cheap while
+still charging every traversed link its bytes — the quantity the
+paper's bandwidth arguments are about.
+
+Failure semantics:
+- if no live route exists at send time, the message is dropped;
+- lossy links drop the message with their loss probability;
+- if the destination host is dead at delivery time, the message is
+  dropped.
+
+Higher layers that need reliability (the ORB, the cohesion protocol)
+implement timeouts and retries on top, exactly as TCP/GIOP would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.kernel import Environment
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import MetricRegistry
+from repro.sim.topology import Topology
+from repro.util.errors import ConfigurationError
+from repro.util.ids import IdGenerator
+
+#: Fixed per-message header overhead (transport + GIOP-ish framing), bytes.
+HEADER_BYTES = 64
+
+
+@dataclass
+class Message:
+    """A unit of network transfer."""
+
+    msg_id: str
+    src: str
+    dst: str
+    port: str           # logical service name on the destination host
+    payload: Any
+    size: int           # payload size in bytes (headers added by Network)
+    sent_at: float = 0.0
+    headers: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def total_size(self) -> int:
+        return self.size + HEADER_BYTES
+
+
+Handler = Callable[[Message], None]
+
+
+class NetworkInterface:
+    """A host's attachment point: named ports dispatch inbound messages."""
+
+    def __init__(self, network: "Network", host_id: str) -> None:
+        self.network = network
+        self.host_id = host_id
+        self._handlers: dict[str, Handler] = {}
+
+    def bind(self, port: str, handler: Handler) -> None:
+        """Register *handler* for messages addressed to *port*."""
+        if port in self._handlers:
+            raise ConfigurationError(
+                f"port {port!r} already bound on host {self.host_id!r}"
+            )
+        self._handlers[port] = handler
+
+    def unbind(self, port: str) -> None:
+        self._handlers.pop(port, None)
+
+    def send(self, dst: str, port: str, payload: Any, size: int) -> Message:
+        """Fire-and-forget send; returns the Message (possibly dropped)."""
+        return self.network.send(self.host_id, dst, port, payload, size)
+
+    def _dispatch(self, msg: Message) -> None:
+        handler = self._handlers.get(msg.port)
+        if handler is None:
+            self.network.metrics.counter("net.unrouted").inc()
+            return
+        handler(msg)
+
+
+class Network:
+    """Message fabric over a topology, driven by the sim environment."""
+
+    def __init__(
+        self,
+        env: Environment,
+        topology: Topology,
+        rngs: Optional[RngRegistry] = None,
+        metrics: Optional[MetricRegistry] = None,
+    ) -> None:
+        self.env = env
+        self.topology = topology
+        self.rngs = rngs or RngRegistry(0)
+        self.metrics = metrics or MetricRegistry()
+        self._ids = IdGenerator()
+        self._interfaces: dict[str, NetworkInterface] = {}
+        self._loss_rng = self.rngs.stream("net.loss")
+
+    def interface(self, host_id: str) -> NetworkInterface:
+        """Return (creating if needed) the interface for *host_id*."""
+        iface = self._interfaces.get(host_id)
+        if iface is None:
+            self.topology.host(host_id)  # validate
+            iface = NetworkInterface(self, host_id)
+            self._interfaces[host_id] = iface
+        return iface
+
+    # -- sending ---------------------------------------------------------
+    def send(self, src: str, dst: str, port: str, payload: Any, size: int) -> Message:
+        """Send *payload* of *size* bytes from *src* to *dst*:*port*.
+
+        Always returns the Message object; whether it arrives depends on
+        routes, loss and destination liveness.
+        """
+        if size < 0:
+            raise ConfigurationError(f"negative message size {size}")
+        msg = Message(
+            msg_id=self._ids.next("msg"),
+            src=src,
+            dst=dst,
+            port=port,
+            payload=payload,
+            size=int(size),
+            sent_at=self.env.now,
+        )
+        self.metrics.counter("net.messages").inc()
+
+        src_host = self.topology.host(src)
+        if not src_host.alive:
+            self.metrics.counter("net.dropped.src_dead").inc()
+            return msg
+
+        if src == dst:
+            # Local delivery: loopback costs nothing on the wire.
+            self.metrics.counter("net.local").inc()
+            self._schedule_delivery(msg, delay=0.0)
+            return msg
+
+        path = self.topology.route(src, dst)
+        if path is None:
+            self.metrics.counter("net.dropped.unreachable").inc()
+            return msg
+
+        links = self.topology.path_links(path)
+        arrival = self.env.now
+        total = msg.total_size
+        for link in links:
+            if not link.up:
+                self.metrics.counter("net.dropped.link_down").inc()
+                return msg
+            if link.loss > 0 and self._loss_rng.random() < link.loss:
+                # Charge the bytes up to and including the lossy link —
+                # they were transmitted, then lost.
+                self.metrics.counter("net.dropped.loss").inc()
+                self._charge(link, total)
+                return msg
+            start = max(arrival, link.busy_until)
+            tx = total / link.bandwidth
+            link.busy_until = start + tx
+            arrival = start + tx + link.latency
+            self._charge(link, total)
+
+        self.metrics.counter("net.bytes").inc(total)
+        self.metrics.counter("net.hops").inc(len(links))
+        self._schedule_delivery(msg, delay=arrival - self.env.now)
+        return msg
+
+    def _charge(self, link, nbytes: int) -> None:
+        self.metrics.add_labelled("net.link_bytes", f"{link.a}|{link.b}", nbytes)
+        if link.link_class.name != "lan":
+            self.metrics.counter("net.bytes.backbone").inc(nbytes)
+
+    def _schedule_delivery(self, msg: Message, delay: float) -> None:
+        def deliver(_ev) -> None:
+            host = self.topology.host(msg.dst)
+            if not host.alive:
+                self.metrics.counter("net.dropped.dst_dead").inc()
+                return
+            iface = self._interfaces.get(msg.dst)
+            if iface is None:
+                self.metrics.counter("net.unrouted").inc()
+                return
+            self.metrics.counter("net.delivered").inc()
+            iface._dispatch(msg)
+
+        timeout = self.env.timeout(delay)
+        timeout.callbacks.append(deliver)
+
+    # -- convenience -----------------------------------------------------
+    def bytes_sent(self) -> float:
+        return self.metrics.get("net.bytes")
+
+    def messages_sent(self) -> float:
+        return self.metrics.get("net.messages")

@@ -1,0 +1,122 @@
+"""Metric collection: counters and time series.
+
+Protocol benchmarks (bandwidth, message counts, staleness, failover
+latency) read their numbers from a :class:`MetricRegistry` owned by the
+simulation, rather than each protocol keeping ad-hoc state.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically increasing (or arbitrary additive) scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class TimeSeries:
+    """A sequence of (time, value) samples with summary statistics."""
+
+    __slots__ = ("name", "_times", "_values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def record(self, time: float, value: float) -> None:
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def mean(self) -> float:
+        return float(np.mean(self._values)) if self._values else float("nan")
+
+    def max(self) -> float:
+        return float(np.max(self._values)) if self._values else float("nan")
+
+    def min(self) -> float:
+        return float(np.min(self._values)) if self._values else float("nan")
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self._values, q)) if self._values else float("nan")
+
+    def rate(self) -> float:
+        """Average of values per unit time over the observed span."""
+        if len(self._times) < 2:
+            return float("nan")
+        span = self._times[-1] - self._times[0]
+        if span <= 0:
+            return float("nan")
+        return float(np.sum(self._values) / span)
+
+
+class MetricRegistry:
+    """Namespace of counters and time series, keyed by dotted names."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._series: dict[str, TimeSeries] = {}
+        self._labelled: dict[str, dict[str, float]] = defaultdict(dict)
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def series(self, name: str) -> TimeSeries:
+        s = self._series.get(name)
+        if s is None:
+            s = self._series[name] = TimeSeries(name)
+        return s
+
+    def add_labelled(self, name: str, label: str, amount: float = 1.0) -> None:
+        """Accumulate into a labelled counter family (e.g. bytes per link)."""
+        self._labelled[name][label] = self._labelled[name].get(label, 0.0) + amount
+
+    def labelled(self, name: str) -> dict[str, float]:
+        return dict(self._labelled.get(name, {}))
+
+    def counters(self) -> dict[str, float]:
+        return {name: c.value for name, c in self._counters.items()}
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        c = self._counters.get(name)
+        return c.value if c is not None else default
+
+    def names(self) -> Iterable[str]:
+        yield from self._counters
+        yield from self._series
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat dict of every counter plus the mean of every series."""
+        out = self.counters()
+        for name, s in self._series.items():
+            out[f"{name}.mean"] = s.mean()
+        return out

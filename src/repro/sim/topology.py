@@ -1,0 +1,330 @@
+"""Network topology: hosts, links, routing, and hardware profiles.
+
+The paper's requirement 8 ("integration of tiny devices ... PDAs as well
+as high-end servers") makes host heterogeneity load-bearing, so hosts
+carry a :class:`HostProfile` describing CPU power, memory, OS/arch/ORB
+identity and whether the device is "tiny".  Links carry latency,
+bandwidth and loss so that the packaging/migration experiments can
+distinguish a LAN from a modem line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Optional
+
+import networkx as nx
+
+from repro.util.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class HostProfile:
+    """Static hardware/platform description of a host.
+
+    These are exactly the "static characteristics (such as CPU and
+    Operating System Type, ORB)" the Node's Resource Manager exposes.
+    """
+
+    name: str
+    cpu_power: float  # relative work units per simulated second
+    memory_mb: int
+    os: str
+    arch: str
+    orb: str
+    is_tiny: bool = False
+
+    def scaled(self, factor: float) -> "HostProfile":
+        """A copy with CPU power scaled by *factor* (heterogeneity knobs)."""
+        return replace(self, cpu_power=self.cpu_power * factor)
+
+
+#: Representative profiles used throughout tests/benchmarks.
+SERVER = HostProfile("server", cpu_power=1000.0, memory_mb=4096,
+                     os="linux", arch="x86", orb="corba-lc", is_tiny=False)
+DESKTOP = HostProfile("desktop", cpu_power=400.0, memory_mb=512,
+                      os="win32", arch="x86", orb="corba-lc", is_tiny=False)
+PDA = HostProfile("pda", cpu_power=20.0, memory_mb=16,
+                  os="palmos", arch="arm", orb="corba-lc-micro", is_tiny=True)
+
+
+@dataclass(frozen=True)
+class LinkClass:
+    """A technology class for links: latency (s), bandwidth (bytes/s), loss."""
+
+    name: str
+    latency: float
+    bandwidth: float
+    loss: float = 0.0
+
+
+LAN = LinkClass("lan", latency=0.0005, bandwidth=12_500_000.0)        # 100 Mb/s
+WAN = LinkClass("wan", latency=0.030, bandwidth=1_250_000.0)          # 10 Mb/s
+WIRELESS = LinkClass("wireless", latency=0.005, bandwidth=687_500.0,  # 5.5 Mb/s
+                     loss=0.01)
+MODEM = LinkClass("modem", latency=0.100, bandwidth=7_000.0)          # 56 kb/s
+
+
+class Host:
+    """A machine participating in the network."""
+
+    def __init__(self, host_id: str, profile: HostProfile) -> None:
+        self.host_id = host_id
+        self.profile = profile
+        self.alive = True
+        #: Called (with this host) when the host crashes / restarts, so
+        #: services running on it can stop/restart themselves.
+        self.on_crash: list[Callable[["Host"], None]] = []
+        self.on_restart: list[Callable[["Host"], None]] = []
+
+    def crash(self) -> None:
+        if not self.alive:
+            return
+        self.alive = False
+        for cb in list(self.on_crash):
+            cb(self)
+
+    def restart(self) -> None:
+        if self.alive:
+            return
+        self.alive = True
+        for cb in list(self.on_restart):
+            cb(self)
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "DOWN"
+        return f"<Host {self.host_id} [{self.profile.name}] {state}>"
+
+
+class Link:
+    """A bidirectional link between two hosts."""
+
+    def __init__(self, a: str, b: str, link_class: LinkClass) -> None:
+        self.a = a
+        self.b = b
+        self.link_class = link_class
+        self.up = True
+        #: Simulated time until which the link is busy serializing earlier
+        #: messages (store-and-forward queueing model).
+        self.busy_until = 0.0
+
+    @property
+    def key(self) -> tuple[str, str]:
+        return (self.a, self.b) if self.a <= self.b else (self.b, self.a)
+
+    @property
+    def latency(self) -> float:
+        return self.link_class.latency
+
+    @property
+    def bandwidth(self) -> float:
+        return self.link_class.bandwidth
+
+    @property
+    def loss(self) -> float:
+        return self.link_class.loss
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "CUT"
+        return f"<Link {self.a}<->{self.b} {self.link_class.name} {state}>"
+
+
+class Topology:
+    """Hosts + links + shortest-latency routing.
+
+    Routing uses latency-weighted shortest paths over the subgraph of
+    live hosts and un-cut links.  Routes are cached and invalidated on
+    any topology or liveness change.
+    """
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._hosts: dict[str, Host] = {}
+        self._links: dict[tuple[str, str], Link] = {}
+        self._route_cache: dict[tuple[str, str], Optional[list[str]]] = {}
+
+    # -- construction ------------------------------------------------------
+    def add_host(self, host_id: str, profile: HostProfile = DESKTOP) -> Host:
+        if host_id in self._hosts:
+            raise ConfigurationError(f"duplicate host id {host_id!r}")
+        host = Host(host_id, profile)
+        self._hosts[host_id] = host
+        self._graph.add_node(host_id)
+        self._route_cache.clear()
+        return host
+
+    def add_link(self, a: str, b: str, link_class: LinkClass = LAN) -> Link:
+        if a not in self._hosts or b not in self._hosts:
+            raise ConfigurationError(f"link endpoints must exist: {a!r}, {b!r}")
+        if a == b:
+            raise ConfigurationError("self-links are not allowed")
+        link = Link(a, b, link_class)
+        if link.key in self._links:
+            raise ConfigurationError(f"duplicate link {a!r}<->{b!r}")
+        self._links[link.key] = link
+        self._graph.add_edge(a, b, weight=link_class.latency)
+        self._route_cache.clear()
+        return link
+
+    # -- access ------------------------------------------------------------
+    def host(self, host_id: str) -> Host:
+        try:
+            return self._hosts[host_id]
+        except KeyError:
+            raise ConfigurationError(f"unknown host {host_id!r}") from None
+
+    def hosts(self) -> list[Host]:
+        return list(self._hosts.values())
+
+    def host_ids(self) -> list[str]:
+        return list(self._hosts)
+
+    def link(self, a: str, b: str) -> Link:
+        key = (a, b) if a <= b else (b, a)
+        try:
+            return self._links[key]
+        except KeyError:
+            raise ConfigurationError(f"no link {a!r}<->{b!r}") from None
+
+    def links(self) -> list[Link]:
+        return list(self._links.values())
+
+    def neighbors(self, host_id: str) -> list[str]:
+        return list(self._graph.neighbors(host_id))
+
+    # -- liveness / partitions ----------------------------------------------
+    def invalidate_routes(self) -> None:
+        self._route_cache.clear()
+
+    def set_link_state(self, a: str, b: str, up: bool) -> None:
+        self.link(a, b).up = up
+        self._route_cache.clear()
+
+    def set_host_state(self, host_id: str, alive: bool) -> None:
+        host = self.host(host_id)
+        if alive:
+            host.restart()
+        else:
+            host.crash()
+        self._route_cache.clear()
+
+    # -- routing -------------------------------------------------------------
+    def _live_graph(self) -> nx.Graph:
+        g = nx.Graph()
+        for hid, host in self._hosts.items():
+            if host.alive:
+                g.add_node(hid)
+        for link in self._links.values():
+            if (link.up and link.a in g and link.b in g):
+                g.add_edge(link.a, link.b, weight=link.latency)
+        return g
+
+    def route(self, src: str, dst: str) -> Optional[list[str]]:
+        """Host-id path from *src* to *dst*, or None if unreachable.
+
+        The endpoints must exist; the source may be a crashed host only
+        in the sense that a caller checks liveness itself — routing
+        requires both endpoints live.
+        """
+        if src == dst:
+            return [src]
+        key = (src, dst)
+        if key in self._route_cache:
+            return self._route_cache[key]
+        self.host(src)
+        self.host(dst)
+        g = self._live_graph()
+        try:
+            path = nx.shortest_path(g, src, dst, weight="weight")
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            path = None
+        self._route_cache[key] = path
+        return path
+
+    def path_links(self, path: list[str]) -> list[Link]:
+        """The links along a host path."""
+        return [self.link(a, b) for a, b in zip(path, path[1:])]
+
+    def reachable(self, src: str, dst: str) -> bool:
+        return self.route(src, dst) is not None
+
+
+# -- topology builders --------------------------------------------------------
+
+def star(n_leaves: int, hub_profile: HostProfile = SERVER,
+         leaf_profile: HostProfile = DESKTOP,
+         link_class: LinkClass = LAN) -> Topology:
+    """A hub host ``hub`` with *n_leaves* hosts ``h0..h{n-1}`` around it."""
+    topo = Topology()
+    topo.add_host("hub", hub_profile)
+    for i in range(n_leaves):
+        topo.add_host(f"h{i}", leaf_profile)
+        topo.add_link("hub", f"h{i}", link_class)
+    return topo
+
+
+def line(n: int, profile: HostProfile = DESKTOP,
+         link_class: LinkClass = LAN) -> Topology:
+    """Hosts ``h0..h{n-1}`` in a chain."""
+    topo = Topology()
+    for i in range(n):
+        topo.add_host(f"h{i}", profile)
+    for i in range(n - 1):
+        topo.add_link(f"h{i}", f"h{i+1}", link_class)
+    return topo
+
+
+def clustered(n_clusters: int, cluster_size: int,
+              intra: LinkClass = LAN, inter: LinkClass = WAN,
+              profile: HostProfile = DESKTOP) -> Topology:
+    """LAN clusters joined by WAN links between their first hosts.
+
+    Hosts are named ``c{i}h{j}``.  Each cluster is a full mesh (hosts on
+    one switch: no peer host is a single point of failure for intra-LAN
+    traffic); cluster heads ``c{i}h0`` act as WAN gateways.  This is the
+    shape the paper's hierarchical MRM protocol targets: locality inside
+    a cluster, expensive links between clusters.
+    """
+    topo = Topology()
+    for c in range(n_clusters):
+        for j in range(cluster_size):
+            topo.add_host(f"c{c}h{j}", profile)
+        for j in range(cluster_size):
+            for k in range(j + 1, cluster_size):
+                topo.add_link(f"c{c}h{j}", f"c{c}h{k}", intra)
+    for c in range(n_clusters - 1):
+        topo.add_link(f"c{c}h0", f"c{c+1}h0", inter)
+    return topo
+
+
+def random_mesh(n: int, degree: float, rng, profile: HostProfile = DESKTOP,
+                link_class: LinkClass = LAN) -> Topology:
+    """A connected random graph of *n* hosts with average degree ~*degree*.
+
+    Built as a random spanning tree plus extra random edges; always
+    connected, deterministic under the supplied *rng*.
+    """
+    topo = Topology()
+    for i in range(n):
+        topo.add_host(f"h{i}", profile)
+    # random spanning tree
+    order = list(range(n))
+    rng.shuffle(order)
+    for idx in range(1, n):
+        a = order[idx]
+        b = order[int(rng.integers(0, idx))]
+        topo.add_link(f"h{a}", f"h{b}", link_class)
+    # extra edges
+    extra = max(0, int(n * degree / 2) - (n - 1))
+    tries = 0
+    while extra > 0 and tries < 50 * n:
+        tries += 1
+        a, b = int(rng.integers(0, n)), int(rng.integers(0, n))
+        if a == b:
+            continue
+        key = (f"h{min(a,b)}", f"h{max(a,b)}")
+        if key in topo._links:
+            continue
+        topo.add_link(key[0], key[1], link_class)
+        extra -= 1
+    return topo

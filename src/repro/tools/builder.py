@@ -1,0 +1,237 @@
+"""The visual-builder model: palette + validating assembly construction.
+
+A GUI would render :class:`NetworkPalette` (what components exist in
+the network, what instances run, how they are wired — all obtained
+through the ordinary remote Component Registry interfaces) and drive an
+:class:`AssemblyBuilder`, which validates port compatibility against
+the components' declared types before emitting an
+:class:`~repro.xmlmeta.descriptors.AssemblyDescriptor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.components.reflection import ComponentInfo, InstanceInfo
+from repro.orb.exceptions import SystemException
+from repro.sim.kernel import Event
+from repro.util.errors import ValidationError
+from repro.xmlmeta.descriptors import (
+    AssemblyConnection,
+    AssemblyDescriptor,
+    AssemblyInstance,
+    ComponentTypeDescriptor,
+)
+from repro.xmlmeta.versions import VersionRange
+
+
+@dataclass
+class PaletteEntry:
+    """One component as the palette shows it."""
+
+    info: ComponentInfo
+    hosts: list[str] = field(default_factory=list)  # where it's installed
+
+
+@dataclass
+class NetworkPalette:
+    """Network-wide view for builder tools."""
+
+    components: dict[str, PaletteEntry] = field(default_factory=dict)
+    instances: list[InstanceInfo] = field(default_factory=list)
+
+    @classmethod
+    def gather(cls, node, hosts: list[str]) -> Event:
+        """Collect the palette by querying every host's registry.
+
+        Runs as a simulation process; unreachable hosts are skipped
+        (the palette shows what is *currently* available).
+        """
+        return node.env.process(cls._gather(node, hosts))
+
+    @classmethod
+    def _gather(cls, node, hosts: list[str]):
+        palette = cls()
+        for host in hosts:
+            if not node.network.topology.host(host).alive:
+                continue
+            registry = node.service_stub(host, "registry")
+            try:
+                installed = yield registry.installed(_timeout=2.0,
+                                                     _meter="builder")
+                instances = yield registry.instances(_timeout=2.0,
+                                                     _meter="builder")
+            except SystemException:
+                continue
+            for value in installed:
+                info = ComponentInfo.from_value(value)
+                entry = palette.components.get(info.name)
+                if entry is None:
+                    entry = palette.components[info.name] = PaletteEntry(
+                        info=info)
+                entry.hosts.append(host)
+            palette.instances.extend(
+                InstanceInfo.from_value(v) for v in instances)
+        return palette
+
+    def providers_of(self, repo_id: str) -> list[str]:
+        return sorted(name for name, entry in self.components.items()
+                      if repo_id in entry.info.provides)
+
+    def connections(self) -> list[tuple[str, str, str]]:
+        """(instance, port, peer) triples of current live wiring."""
+        out = []
+        for info in self.instances:
+            for port in info.ports:
+                if port.kind == "receptacle" and port.peer:
+                    out.append((info.instance_id, port.name, port.peer))
+        return out
+
+    def render(self) -> str:
+        """ASCII rendering of the palette (what a GUI would draw)."""
+        lines = ["=== component palette ==="]
+        for name in sorted(self.components):
+            entry = self.components[name]
+            lines.append(
+                f"  [{name} v{entry.info.version}] on "
+                f"{','.join(sorted(entry.hosts))}  "
+                f"provides={len(entry.info.provides)} "
+                f"uses={len(entry.info.uses)}")
+        lines.append("=== running instances ===")
+        for info in sorted(self.instances, key=lambda i: i.instance_id):
+            state = "active" if info.active else "passive"
+            lines.append(f"  {info.instance_id} ({info.component}) "
+                         f"@ {info.host} [{state}]")
+            for port in info.ports:
+                marker = {"facet": "o--", "receptacle": "--(",
+                          "event-source": ">>>", "event-sink": "<<<"}
+                wired = " -> " + port.peer if port.peer else ""
+                lines.append(f"      {marker.get(port.kind, '?')} "
+                             f"{port.name}: {port.type_id}{wired}")
+        return "\n".join(lines)
+
+
+class AssemblyBuilder:
+    """Builds a *validated* AssemblyDescriptor against component types.
+
+    The builder knows each component's declared ports (its
+    :class:`~repro.xmlmeta.descriptors.ComponentTypeDescriptor`), so a
+    mis-typed connection fails at build time — before any deployment.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._types: dict[str, ComponentTypeDescriptor] = {}
+        self._instances: list[AssemblyInstance] = []
+        self._connections: list[AssemblyConnection] = []
+
+    # -- vocabulary ---------------------------------------------------------
+    def register_type(self, descriptor: ComponentTypeDescriptor
+                      ) -> "AssemblyBuilder":
+        self._types[descriptor.name] = descriptor
+        return self
+
+    def register_package(self, package) -> "AssemblyBuilder":
+        return self.register_type(package.component)
+
+    # -- construction ----------------------------------------------------------
+    def add(self, instance_name: str, component: str,
+            versions: str = "") -> "AssemblyBuilder":
+        if component not in self._types:
+            raise ValidationError(
+                f"unknown component {component!r}; register its type "
+                "first"
+            )
+        if any(i.name == instance_name for i in self._instances):
+            raise ValidationError(
+                f"duplicate instance name {instance_name!r}"
+            )
+        self._instances.append(AssemblyInstance(
+            instance_name, component, VersionRange(versions)))
+        return self
+
+    def _ctype(self, instance_name: str) -> ComponentTypeDescriptor:
+        for inst in self._instances:
+            if inst.name == instance_name:
+                return self._types[inst.component]
+        raise ValidationError(f"unknown instance {instance_name!r}")
+
+    def connect(self, user: str, receptacle: str, provider: str,
+                facet: str) -> "AssemblyBuilder":
+        """Wire ``user.receptacle`` to ``provider.facet``, type-checked."""
+        user_type = self._ctype(user)
+        provider_type = self._ctype(provider)
+        rec = next((p for p in user_type.uses if p.name == receptacle),
+                   None)
+        if rec is None:
+            raise ValidationError(
+                f"{user_type.name} has no receptacle {receptacle!r}"
+            )
+        fac = next((p for p in provider_type.provides if p.name == facet),
+                   None)
+        if fac is None:
+            raise ValidationError(
+                f"{provider_type.name} has no facet {facet!r}"
+            )
+        if rec.repo_id != fac.repo_id:
+            raise ValidationError(
+                f"type mismatch: {receptacle!r} needs {rec.repo_id}, "
+                f"{facet!r} offers {fac.repo_id}"
+            )
+        self._connections.append(AssemblyConnection(
+            user, receptacle, provider, facet, kind="interface"))
+        return self
+
+    def subscribe(self, consumer: str, sink: str, producer: str,
+                  source: str) -> "AssemblyBuilder":
+        """Wire ``consumer.sink`` to ``producer.source`` events."""
+        consumer_type = self._ctype(consumer)
+        producer_type = self._ctype(producer)
+        snk = next((p for p in consumer_type.consumes if p.name == sink),
+                   None)
+        if snk is None:
+            raise ValidationError(
+                f"{consumer_type.name} has no event sink {sink!r}"
+            )
+        src = next((p for p in producer_type.emits if p.name == source),
+                   None)
+        if src is None:
+            raise ValidationError(
+                f"{producer_type.name} has no event source {source!r}"
+            )
+        if snk.event_kind != src.event_kind:
+            raise ValidationError(
+                f"event kind mismatch: {snk.event_kind!r} vs "
+                f"{src.event_kind!r}"
+            )
+        self._connections.append(AssemblyConnection(
+            consumer, sink, producer, source, kind="event"))
+        return self
+
+    # -- finalize ------------------------------------------------------------------
+    def unsatisfied_receptacles(self) -> list[tuple[str, str]]:
+        """Mandatory receptacles nothing is connected to."""
+        wired = {(c.from_instance, c.from_port)
+                 for c in self._connections if c.kind == "interface"}
+        missing = []
+        for inst in self._instances:
+            for port in self._types[inst.component].uses:
+                if not port.optional and (inst.name, port.name) not in wired:
+                    missing.append((inst.name, port.name))
+        return missing
+
+    def build(self, allow_unsatisfied: bool = False) -> AssemblyDescriptor:
+        if not self._instances:
+            raise ValidationError("assembly has no instances")
+        if not allow_unsatisfied:
+            missing = self.unsatisfied_receptacles()
+            if missing:
+                raise ValidationError(
+                    f"unsatisfied mandatory receptacles: {missing}"
+                )
+        return AssemblyDescriptor(
+            name=self.name,
+            instances=list(self._instances),
+            connections=list(self._connections),
+        )

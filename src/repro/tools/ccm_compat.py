@@ -1,0 +1,166 @@
+"""CCM interchange: export/import CORBA-LC descriptors as CCM documents.
+
+The paper's future work includes "study the integration of this model
+with current and future CCM implementations" (§5).  The packaging
+models are cousins (both descend from the OSD DTD), so descriptors can
+be translated mechanically:
+
+- :func:`to_ccm_softpkg` — CORBA-LC software descriptor → a CCM
+  ``.csd`` software package descriptor.
+- :func:`to_ccm_corbacomponent` — component type descriptor → a CCM
+  ``.ccd`` CORBA component descriptor (ports section).
+- :func:`from_ccm_softpkg` — import a (subset of a) CCM ``.csd``.
+
+CORBA-LC-only concepts with no CCM slot (mobility, replication,
+aggregation, pay-per-use) are carried in a ``<corbalc-extension>``
+element so a round-trip through CCM tooling preserves them.
+"""
+
+from __future__ import annotations
+
+from xml.etree import ElementTree as ET
+
+from repro.util.errors import ValidationError
+from repro.xmlmeta.descriptors import (
+    ComponentTypeDescriptor,
+    Dependency,
+    ImplementationDescriptor,
+    SoftwareDescriptor,
+)
+from repro.xmlmeta.versions import Version, VersionRange
+
+
+def _pretty(root: ET.Element) -> str:
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode")
+
+
+# -- export -------------------------------------------------------------------
+
+def to_ccm_softpkg(soft: SoftwareDescriptor) -> str:
+    """Render a CCM-style ``.csd`` software package descriptor."""
+    root = ET.Element("softpkg", {"name": soft.name,
+                                  "version": str(soft.version)})
+    ET.SubElement(root, "pkgtype").text = "CORBA Component"
+    title = ET.SubElement(root, "title")
+    title.text = soft.name
+    if soft.abstract:
+        ET.SubElement(root, "description").text = soft.abstract
+    author = ET.SubElement(root, "author")
+    ET.SubElement(author, "company").text = soft.vendor
+    for dep in soft.dependencies:
+        d = ET.SubElement(root, "dependency", {"type": "CORBALC"})
+        ET.SubElement(d, "name").text = dep.component
+        if dep.versions.text:
+            ET.SubElement(d, "version").text = dep.versions.text
+    for i, impl in enumerate(soft.implementations):
+        node = ET.SubElement(root, "implementation",
+                             {"id": f"{soft.name}-impl-{i}"})
+        ET.SubElement(node, "os", {"name": impl.os})
+        ET.SubElement(node, "processor", {"name": impl.arch})
+        ET.SubElement(node, "compiler", {"name": impl.orb})
+        code = ET.SubElement(node, "code", {"type": "DLL"})
+        ET.SubElement(code, "fileinarchive", {"name": impl.binary_path})
+        ET.SubElement(code, "entrypoint").text = impl.entry_point
+    ET.SubElement(root, "corbalc-extension", {
+        "mobility": soft.mobility,
+        "replication": soft.replication,
+        "aggregation": soft.aggregation,
+        "license": soft.license,
+        "cost-per-use": repr(soft.cost_per_use),
+    })
+    return _pretty(root)
+
+
+def to_ccm_corbacomponent(comp: ComponentTypeDescriptor) -> str:
+    """Render the ports section of a CCM ``.ccd`` descriptor."""
+    root = ET.Element("corbacomponent")
+    ET.SubElement(root, "componentkind").append(
+        ET.Element(comp.lifecycle))
+    features = ET.SubElement(root, "componentfeatures",
+                             {"name": comp.name})
+    ports = ET.SubElement(features, "ports")
+    for port in comp.provides:
+        ET.SubElement(ports, "provides", {
+            "providesname": port.name, "repid": port.repo_id})
+    for port in comp.uses:
+        ET.SubElement(ports, "uses", {
+            "usesname": port.name, "repid": port.repo_id})
+    for ev in comp.emits:
+        ET.SubElement(ports, "emits", {
+            "emitsname": ev.name, "eventtype": ev.event_kind})
+    for ev in comp.consumes:
+        ET.SubElement(ports, "consumes", {
+            "consumesname": ev.name, "eventtype": ev.event_kind})
+    return _pretty(root)
+
+
+# -- import --------------------------------------------------------------------
+
+def from_ccm_softpkg(text: str) -> SoftwareDescriptor:
+    """Parse a CCM ``.csd`` (the subset :func:`to_ccm_softpkg` emits).
+
+    Unknown elements are ignored, matching how CCM tools treat foreign
+    vocabularies; the ``corbalc-extension`` element, when present,
+    restores the CORBA-LC-only fields.
+    """
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ValidationError(f"malformed .csd: {exc}") from None
+    if root.tag != "softpkg":
+        raise ValidationError(f"not a softpkg document: <{root.tag}>")
+    name = root.get("name")
+    version = root.get("version")
+    if not name or not version:
+        raise ValidationError("softpkg needs name and version")
+
+    vendor = root.findtext("author/company", default="unknown") or "unknown"
+    abstract = (root.findtext("description", default="") or "").strip()
+
+    dependencies = []
+    for dep in root.findall("dependency"):
+        dep_name = dep.findtext("name")
+        if not dep_name:
+            continue
+        dependencies.append(Dependency(
+            dep_name, VersionRange(dep.findtext("version", default=""))))
+
+    implementations = []
+    for impl in root.findall("implementation"):
+        os_el = impl.find("os")
+        cpu_el = impl.find("processor")
+        orb_el = impl.find("compiler")
+        code = impl.find("code")
+        if code is None:
+            continue
+        archive = code.find("fileinarchive")
+        entry = code.findtext("entrypoint", default="")
+        implementations.append(ImplementationDescriptor(
+            os=os_el.get("name") if os_el is not None else "*",
+            arch=cpu_el.get("name") if cpu_el is not None else "*",
+            orb=orb_el.get("name") if orb_el is not None else "*",
+            entry_point=entry or "unknown",
+            binary_path=(archive.get("name")
+                         if archive is not None else "bin/unknown"),
+        ))
+
+    ext = root.find("corbalc-extension")
+    extras = {}
+    if ext is not None:
+        extras = {
+            "mobility": ext.get("mobility", "mobile"),
+            "replication": ext.get("replication", "none"),
+            "aggregation": ext.get("aggregation", "none"),
+            "license": ext.get("license", "free"),
+            "cost_per_use": float(ext.get("cost-per-use", "0.0")),
+        }
+    return SoftwareDescriptor(
+        name=name,
+        version=Version.parse(version),
+        vendor=vendor,
+        abstract=abstract,
+        dependencies=dependencies,
+        implementations=implementations,
+        **extras,
+    )

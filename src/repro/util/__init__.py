@@ -1,0 +1,22 @@
+"""Shared utilities: identifiers, errors, and small helpers.
+
+Nothing in this package depends on any other ``repro`` subpackage; it is
+the bottom of the dependency graph.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ConfigurationError,
+    ProtocolError,
+    ValidationError,
+)
+from repro.util.ids import IdGenerator, uid
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ProtocolError",
+    "ValidationError",
+    "IdGenerator",
+    "uid",
+]

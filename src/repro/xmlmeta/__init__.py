@@ -1,0 +1,56 @@
+"""XML component metadata (the paper's OSD-derived descriptors).
+
+CORBA-LC describes components with "IDL files and XML files ... with a
+custom DTD" (§2.1.2) whose DTDs are "based upon the WWW Consortium's
+Open Software Descriptor" (§2.1.1).  This package implements that
+metadata layer:
+
+- :mod:`repro.xmlmeta.versions` — versions and version ranges used by
+  dependency declarations.
+- :mod:`repro.xmlmeta.schema` — a small DTD-style validator for element
+  trees.
+- :mod:`repro.xmlmeta.descriptors` — the three descriptor documents and
+  their XML round-trip:
+
+  * :class:`SoftwareDescriptor` — the static/binary-package dimension
+    (§2.1.1): platform-specific implementations, dependencies, mobility,
+    replication, aggregation, licensing, signature.
+  * :class:`ComponentTypeDescriptor` — the dynamic dimension (§2.1.2):
+    ports (provided/used interfaces, event sources/sinks), factory
+    lifecycle, QoS requirements, framework services.
+  * :class:`AssemblyDescriptor` — explicit instance/connection rules of
+    an application (§2.4.4).
+"""
+
+from repro.xmlmeta.versions import Version, VersionRange
+from repro.xmlmeta.schema import ElementSpec, SchemaError, validate_element
+from repro.xmlmeta.descriptors import (
+    AssemblyConnection,
+    AssemblyDescriptor,
+    AssemblyInstance,
+    ComponentTypeDescriptor,
+    Dependency,
+    EventPortDecl,
+    ImplementationDescriptor,
+    PortDecl,
+    QoSSpec,
+    SoftwareDescriptor,
+)
+
+__all__ = [
+    "Version",
+    "VersionRange",
+    "ElementSpec",
+    "SchemaError",
+    "validate_element",
+    "SoftwareDescriptor",
+    "ImplementationDescriptor",
+    "Dependency",
+    "ComponentTypeDescriptor",
+    "PortDecl",
+    "EventPortDecl",
+    "QoSSpec",
+    "AssemblyDescriptor",
+    "AssemblyInstance",
+    "AssemblyConnection",
+]

@@ -1,0 +1,97 @@
+"""A small DTD-style validator for XML element trees.
+
+The paper's descriptors are "described using XML files ... The Document
+Type Definitions (DTDs) describing those files are based upon the ...
+Open Software Descriptor DTD" (§2.1.1).  This module provides the
+equivalent validation: each :class:`ElementSpec` constrains an element's
+attributes and children with DTD-like cardinalities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+from xml.etree import ElementTree as ET
+
+from repro.util.errors import ValidationError
+
+
+class SchemaError(ValidationError):
+    """An XML document violated its descriptor schema."""
+
+
+#: Cardinality markers, DTD style.
+ONE = "1"        # exactly one
+OPT = "?"        # zero or one
+MANY = "*"       # zero or more
+SOME = "+"       # one or more
+
+
+@dataclass
+class ElementSpec:
+    """Schema for one element type.
+
+    ``children`` maps child tag -> (ElementSpec, cardinality).
+    ``required_attrs`` / ``optional_attrs`` constrain attributes; other
+    attributes are rejected.  ``text`` allows character content.
+    """
+
+    tag: str
+    required_attrs: tuple[str, ...] = ()
+    optional_attrs: tuple[str, ...] = ()
+    children: dict = field(default_factory=dict)
+    text: bool = False
+
+    def child(self, spec: "ElementSpec", cardinality: str = MANY) -> "ElementSpec":
+        """Declare a child element; returns self for chaining."""
+        if cardinality not in (ONE, OPT, MANY, SOME):
+            raise ValidationError(f"bad cardinality {cardinality!r}")
+        self.children[spec.tag] = (spec, cardinality)
+        return self
+
+
+def validate_element(element: ET.Element, spec: ElementSpec,
+                     path: str = "") -> None:
+    """Validate *element* against *spec*; raises :class:`SchemaError`."""
+    where = f"{path}/{element.tag}"
+    if element.tag != spec.tag:
+        raise SchemaError(f"{where}: expected element <{spec.tag}>")
+
+    allowed = set(spec.required_attrs) | set(spec.optional_attrs)
+    for attr in element.attrib:
+        if attr not in allowed:
+            raise SchemaError(f"{where}: unexpected attribute {attr!r}")
+    for attr in spec.required_attrs:
+        if attr not in element.attrib:
+            raise SchemaError(f"{where}: missing attribute {attr!r}")
+
+    if not spec.text and element.text and element.text.strip():
+        raise SchemaError(f"{where}: character content not allowed")
+
+    counts: dict[str, int] = {}
+    for child in element:
+        entry = spec.children.get(child.tag)
+        if entry is None:
+            raise SchemaError(f"{where}: unexpected child <{child.tag}>")
+        child_spec, _card = entry
+        validate_element(child, child_spec, where)
+        counts[child.tag] = counts.get(child.tag, 0) + 1
+
+    for tag, (_spec, card) in spec.children.items():
+        n = counts.get(tag, 0)
+        if card == ONE and n != 1:
+            raise SchemaError(f"{where}: needs exactly one <{tag}>, got {n}")
+        if card == OPT and n > 1:
+            raise SchemaError(f"{where}: at most one <{tag}>, got {n}")
+        if card == SOME and n < 1:
+            raise SchemaError(f"{where}: needs at least one <{tag}>")
+
+
+def parse_and_validate(xml_text: str, spec: ElementSpec) -> ET.Element:
+    """Parse *xml_text* and validate the root against *spec*."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise SchemaError(f"malformed XML: {exc}") from None
+    validate_element(root, spec)
+    return root

@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import MetricRegistry
+from repro.sim.topology import Topology, star
+
+
+@pytest.fixture
+def env() -> Environment:
+    return Environment()
+
+
+@pytest.fixture
+def rngs() -> RngRegistry:
+    return RngRegistry(seed=1234)
+
+
+@pytest.fixture
+def metrics() -> MetricRegistry:
+    return MetricRegistry()
+
+
+@pytest.fixture
+def star_net(env, rngs, metrics):
+    """A 5-leaf star network: hosts hub, h0..h4."""
+    topo = star(5)
+    return Network(env, topo, rngs=rngs, metrics=metrics)
+
+
+def run_proc(env: Environment, gen):
+    """Run *gen* as a process to completion; return its value."""
+    return env.run(until=env.process(gen))

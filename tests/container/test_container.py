@@ -1,0 +1,218 @@
+"""Unit/integration tests for the container: lifecycle, ports, factories."""
+
+import pytest
+
+from repro.components.factory import (
+    CreationFailed,
+    FACTORY_IFACE,
+    NoSuchInstance,
+)
+from repro.container.container import ContainerError
+from repro.container.instance import InstanceState, InstanceStateError
+from repro.node.repository import NotInstalledError
+from repro.orb.cdr import Any
+from repro.orb.exceptions import NO_RESOURCES
+from repro.orb.ior import IOR
+from repro.orb.typecodes import tc_long
+from repro.testing import (
+    COUNTER_IFACE,
+    POKE_KIND,
+    counter_package,
+    star_rig,
+)
+
+
+@pytest.fixture
+def rig():
+    r = star_rig(3)
+    r.node("hub").install_package(counter_package())
+    return r
+
+
+class TestInstanceCreation:
+    def test_create_wires_all_declared_ports(self, rig):
+        inst = rig.node("hub").container.create_instance("Counter")
+        assert inst.state is InstanceState.ACTIVE
+        assert inst.ports.facet("value").ior is not None
+        assert not inst.ports.receptacle("peer").connected
+        assert inst.ports.event_source("ticks").channel is not None
+        sink = inst.ports.event_sink("pokes")
+        assert sink.consumer_ior is not None
+        assert len(sink.subscriptions) == 1  # local channel by default
+
+    def test_unknown_component_rejected(self, rig):
+        with pytest.raises(NotInstalledError):
+            rig.node("hub").container.create_instance("Ghost")
+
+    def test_duplicate_requested_name_rejected(self, rig):
+        c = rig.node("hub").container
+        c.create_instance("Counter", requested_name="one")
+        with pytest.raises(ContainerError):
+            c.create_instance("Counter", requested_name="one")
+
+    def test_initial_state_applied(self, rig):
+        inst = rig.node("hub").container.create_instance(
+            "Counter", initial_state={"count": 99, "pokes_seen": 1})
+        assert inst.executor.count == 99
+
+    def test_resources_reserved_and_released(self, rig):
+        node = rig.node("hub")
+        before = node.resources.cpu_committed
+        inst = node.container.create_instance("Counter")
+        assert node.resources.cpu_committed == before + 5.0
+        node.container.destroy_instance(inst.instance_id)
+        assert node.resources.cpu_committed == before
+
+    def test_admission_control_no_resources(self):
+        r = star_rig(1)
+        # component QoS bigger than a desktop's memory
+        r.node("hub").install_package(
+            counter_package(memory_mb=100_000.0))
+        with pytest.raises(NO_RESOURCES):
+            r.node("hub").container.create_instance("Counter")
+        # nothing leaked
+        assert r.node("hub").resources.memory_committed == 0.0
+
+    def test_listener_notifications(self, rig):
+        seen = []
+        c = rig.node("hub").container
+        c.listeners.append(lambda a, i: seen.append((a, i.instance_id)))
+        inst = c.create_instance("Counter")
+        c.destroy_instance(inst.instance_id)
+        assert ("created", inst.instance_id) in seen
+        assert ("destroyed", inst.instance_id) in seen
+
+    def test_registry_generation_bumps(self, rig):
+        node = rig.node("hub")
+        g0 = node.registry.generation
+        inst = node.container.create_instance("Counter")
+        assert node.registry.generation > g0
+
+
+class TestDestroy:
+    def test_destroy_deactivates_servants(self, rig):
+        node = rig.node("hub")
+        inst = node.container.create_instance("Counter")
+        facet_ior = inst.ports.facet("value").ior
+        node.container.destroy_instance(inst.instance_id)
+        from repro.orb.exceptions import OBJECT_NOT_EXIST
+        stub = rig.node("h0").orb.stub(facet_ior, COUNTER_IFACE)
+        with pytest.raises(OBJECT_NOT_EXIST):
+            rig.node("h0").orb.sync(stub.read())
+
+    def test_destroy_unknown_rejected(self, rig):
+        with pytest.raises(ContainerError):
+            rig.node("hub").container.destroy_instance("ghost")
+
+    def test_destroy_interrupts_spawned_processes(self, rig):
+        node = rig.node("hub")
+        inst = node.container.create_instance("Counter")
+
+        def forever(ctx):
+            while True:
+                yield ctx.schedule(1.0)
+
+        ctx = inst.executor.context
+        proc = ctx.spawn(forever(ctx))
+        node.container.destroy_instance(inst.instance_id)
+        rig.run(until=rig.env.now + 5)
+        assert not proc.is_alive
+
+
+class TestWiring:
+    def test_connect_and_call_through_receptacle(self, rig):
+        node = rig.node("hub")
+        a = node.container.create_instance("Counter")
+        b = node.container.create_instance("Counter")
+        node.container.connect(a.instance_id, "peer",
+                               b.ports.facet("value").ior)
+        stub = a.executor.context.connection("peer")
+        assert node.orb.sync(stub.increment(3)) == 3
+        assert b.executor.count == 3
+
+    def test_unconnected_receptacle_yields_none(self, rig):
+        inst = rig.node("hub").container.create_instance("Counter")
+        assert inst.executor.context.connection("peer") is None
+
+    def test_event_emission_reaches_local_subscribers(self, rig):
+        node = rig.node("hub")
+        a = node.container.create_instance("Counter")
+        b = node.container.create_instance("Counter")
+        # both sinks subscribe to the hub's poke channel by default;
+        # push into it and each executor sees the poke.
+        from repro.orb.services.events import EVENT_CHANNEL_IFACE
+        chan = node.events.channel_ior(POKE_KIND)
+        stub = node.orb.stub(chan, EVENT_CHANNEL_IFACE)
+        node.orb.sync(stub.push(Any(tc_long, 1)))
+        rig.run(until=rig.env.now + 1)
+        assert a.executor.pokes_seen == 1
+        assert b.executor.pokes_seen == 1
+
+    def test_tick_events_fan_out_cross_host(self, rig):
+        hub = rig.node("hub")
+        inst = hub.container.create_instance("Counter")
+        # subscribe a bare consumer on h0 to hub's tick channel
+        from repro.orb.services.events import (
+            CallbackPushConsumer, EVENT_CHANNEL_IFACE)
+        got = []
+        consumer = CallbackPushConsumer(lambda a: got.append(a.value))
+        h0 = rig.node("h0")
+        cons_ior = h0.orb.adapter("root").activate(consumer)
+        chan = hub.events.channel_ior("demo.tick")
+        h0.orb.sync(h0.orb.stub(chan, EVENT_CHANNEL_IFACE)
+                    .connect_push_consumer(cons_ior))
+        stub = h0.orb.stub(inst.ports.facet("value").ior, COUNTER_IFACE)
+        h0.orb.sync(stub.increment(1))
+        rig.run(until=rig.env.now + 1)
+        assert got == [1]
+
+
+class TestFactory:
+    def test_factory_creates_and_destroys(self, rig):
+        hub = rig.node("hub")
+        h0 = rig.node("h0")
+        factory_ior = hub.container.factory_ior("Counter")
+        factory = h0.orb.stub(factory_ior, FACTORY_IFACE)
+        iid = h0.orb.sync(factory.create_instance(""))
+        assert hub.container.find_instance(iid) is not None
+        facet = h0.orb.sync(factory.get_facet(iid, "value"))
+        assert isinstance(facet, IOR)
+        assert h0.orb.sync(factory.instance_ids()) == [iid]
+        assert h0.orb.sync(factory._get_component_name()) == "Counter"
+        h0.orb.sync(factory.destroy_instance(iid))
+        assert hub.container.find_instance(iid) is None
+
+    def test_factory_errors(self, rig):
+        hub = rig.node("hub")
+        h0 = rig.node("h0")
+        factory = h0.orb.stub(hub.container.factory_ior("Counter"),
+                              FACTORY_IFACE)
+        with pytest.raises(NoSuchInstance):
+            h0.orb.sync(factory.destroy_instance("ghost"))
+        with pytest.raises(NoSuchInstance):
+            h0.orb.sync(factory.get_facet("ghost", "value"))
+        iid = h0.orb.sync(factory.create_instance(""))
+        with pytest.raises(NoSuchInstance):
+            h0.orb.sync(factory.get_facet(iid, "no-such-port"))
+
+    def test_factory_for_uninstalled_component_rejected(self, rig):
+        with pytest.raises(ContainerError):
+            rig.node("h0").container.factory_for("Counter")
+
+
+class TestInstanceStateGuards:
+    def test_require_state(self, rig):
+        inst = rig.node("hub").container.create_instance("Counter")
+        inst.require_state(InstanceState.ACTIVE)
+        with pytest.raises(InstanceStateError):
+            inst.require_state(InstanceState.PASSIVE)
+
+    def test_info_snapshot(self, rig):
+        inst = rig.node("hub").container.create_instance("Counter")
+        info = inst.info()
+        assert info.component == "Counter"
+        assert info.host == "hub"
+        assert info.active
+        kinds = {p.name: p.kind for p in info.ports}
+        assert kinds == {"value": "facet", "peer": "receptacle",
+                         "ticks": "event-source", "pokes": "event-sink"}

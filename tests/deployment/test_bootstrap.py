@@ -1,0 +1,123 @@
+"""Tests for applications-as-bootstrap-components (§2.4.4)."""
+
+import pytest
+
+from repro.deployment.bootstrap import (
+    BootstrapError,
+    NetworkDeployer,
+    application_package,
+)
+from repro.sim.topology import SERVER, star
+from repro.testing import COUNTER_IFACE, SimRig, counter_package
+from repro.xmlmeta.descriptors import (
+    AssemblyConnection,
+    AssemblyDescriptor,
+    AssemblyInstance,
+)
+
+
+def pair_assembly():
+    return AssemblyDescriptor(
+        name="pair",
+        instances=[AssemblyInstance("a", "Counter"),
+                   AssemblyInstance("b", "Counter")],
+        connections=[AssemblyConnection("a", "peer", "b", "value")])
+
+
+@pytest.fixture
+def rig():
+    r = SimRig(star(3, hub_profile=SERVER))
+    r.node("hub").install_package(counter_package(cpu_units=50.0))
+    return r
+
+
+class TestNetworkDeployer:
+    def test_deploys_using_only_remote_services(self, rig):
+        # the deployer lives on h2, which has nothing installed locally
+        deployer = NetworkDeployer(rig.node("h2"),
+                                   rig.topology.host_ids())
+        app = rig.run(until=deployer.deploy(pair_assembly()))
+        assert set(app.placement) == {"a", "b"}
+        # the wiring is live
+        host_a = app.placement["a"]
+        inst = rig.node(host_a).container.find_instance(
+            app.instance_id("a"))
+        stub = inst.executor.context.connection("peer")
+        assert rig.node(host_a).orb.sync(stub.increment(3)) == 3
+
+    def test_unknown_component_surfaces_bootstrap_error(self, rig):
+        deployer = NetworkDeployer(rig.node("h2"),
+                                   rig.topology.host_ids())
+        assembly = AssemblyDescriptor(
+            name="bad", instances=[AssemblyInstance("x", "Ghost")])
+        with pytest.raises(BootstrapError):
+            rig.run(until=deployer.deploy(assembly))
+
+    def test_dead_source_host_is_skipped(self):
+        from repro.sim.topology import clustered
+        r = SimRig(clustered(1, 4))  # full mesh: no single choke point
+        r.node("c0h0").install_package(counter_package(cpu_units=50.0))
+        r.node("c0h1").install_package(counter_package(cpu_units=50.0))
+        r.topology.set_host_state("c0h0", alive=False)
+        deployer = NetworkDeployer(r.node("c0h3"),
+                                   r.topology.host_ids())
+        app = r.run(until=deployer.deploy(pair_assembly()))
+        assert all(h != "c0h0" for h in app.placement.values())
+
+
+class TestBootstrapComponent:
+    def test_application_package_roundtrips(self, rig):
+        pkg = application_package(pair_assembly())
+        assert pkg.name == "app-pair"
+        # the assembly travels inside the binary payload
+        assert b"assembly" in pkg.binary_payload("linux", "x86",
+                                                 "corba-lc")
+
+    def test_instance_creation_deploys_the_application(self, rig):
+        hub = rig.node("hub")
+        hub.install_package(application_package(pair_assembly()))
+        bootstrap = hub.container.create_instance("app-pair")
+        rig.run(until=rig.env.now + 2.0)
+        app = bootstrap.executor.application
+        assert bootstrap.executor.deploy_error is None
+        assert app is not None
+        assert set(app.placement) == {"a", "b"}
+        # the deployed instances really exist on their hosts
+        for name in ("a", "b"):
+            host = app.placement[name]
+            assert rig.node(host).container.find_instance(
+                app.instance_id(name)) is not None
+
+    def test_bootstrap_can_run_on_a_bare_node(self, rig):
+        """Install the app component on a node with no other packages;
+        the assembly's components are found over the network."""
+        h1 = rig.node("h1")
+        h1.install_package(application_package(pair_assembly()))
+        bootstrap = h1.container.create_instance("app-pair")
+        rig.run(until=rig.env.now + 2.0)
+        assert bootstrap.executor.deploy_error is None
+        assert bootstrap.executor.application is not None
+
+    def test_destroying_bootstrap_tears_down_the_application(self, rig):
+        hub = rig.node("hub")
+        hub.install_package(application_package(pair_assembly()))
+        bootstrap = hub.container.create_instance("app-pair")
+        rig.run(until=rig.env.now + 2.0)
+        app = bootstrap.executor.application
+        hub.container.destroy_instance(bootstrap.instance_id)
+        rig.run(until=rig.env.now + 2.0)
+        assert app.torn_down
+        for host in rig.nodes:
+            for inst in rig.node(host).container.instances():
+                assert not inst.instance_id.startswith("pair.")
+
+    def test_failed_deployment_recorded_not_raised(self, rig):
+        assembly = AssemblyDescriptor(
+            name="bad", instances=[AssemblyInstance("x", "Ghost")])
+        hub = rig.node("hub")
+        hub.install_package(application_package(assembly))
+        bootstrap = hub.container.create_instance("app-bad")
+        rig.run(until=rig.env.now + 3.0)
+        assert bootstrap.executor.application is None
+        assert isinstance(bootstrap.executor.deploy_error,
+                          BootstrapError)

@@ -1,0 +1,241 @@
+"""Tests for the CSCW components (Fig. 2 scenario)."""
+
+import pytest
+
+from repro.container.migration import MigrationEngine, MigrationError
+from repro.cscw import (
+    DISPLAY_IFACE,
+    STREAM_SOURCE_IFACE,
+    SURFACE_IFACE,
+    display_package,
+    gui_part_package,
+    stream_source_package,
+    video_decoder_package,
+    whiteboard_package,
+)
+from repro.cscw.video import DECODE_EXPANSION, ENCODED_FRAME_BYTES, FRAME_RATE
+from repro.deployment import Deployer, RuntimePlanner
+from repro.sim.topology import (
+    DESKTOP,
+    LAN,
+    PDA,
+    SERVER,
+    WAN,
+    Topology,
+)
+from repro.testing import SimRig
+from repro.xmlmeta.descriptors import (
+    AssemblyConnection,
+    AssemblyDescriptor,
+    AssemblyInstance,
+)
+
+
+def stroke(author="alice", color="red"):
+    return {"author": author, "x0": 0.0, "y0": 0.0, "x1": 1.0, "y1": 1.0,
+            "color": color}
+
+
+@pytest.fixture
+def office():
+    topo = Topology()
+    topo.add_host("server", SERVER)
+    topo.add_host("alice", DESKTOP)
+    topo.add_host("bob", DESKTOP)
+    for a, b in (("server", "alice"), ("server", "bob"), ("alice", "bob")):
+        topo.add_link(a, b, LAN)
+    return SimRig(topo)
+
+
+class TestDisplay:
+    def test_draw_and_blit_counted(self, office):
+        alice = office.node("alice")
+        alice.install_package(display_package())
+        inst = alice.container.create_instance("Display")
+        stub = office.node("bob").orb.stub(
+            inst.ports.facet("graphics").ior, DISPLAY_IFACE)
+        bob = office.node("bob")
+        bob.orb.sync(stub.draw("w1", "line"))
+        bob.orb.sync(stub.blit("w1", b"\x00" * 1000))
+        assert bob.orb.sync(stub.drawn_count()) == 2
+        assert bob.orb.sync(stub.blitted_bytes()) == 1000
+        assert inst.executor.windows["w1"][0] == "line"
+
+    def test_display_is_pinned(self, office):
+        alice = office.node("alice")
+        alice.install_package(display_package())
+        inst = alice.container.create_instance("Display")
+        with pytest.raises(MigrationError, match="pinned"):
+            office.run(until=MigrationEngine(alice).migrate(
+                inst.instance_id, "bob"))
+
+
+class TestWhiteboard:
+    def test_strokes_and_revision(self, office):
+        server = office.node("server")
+        server.install_package(whiteboard_package())
+        inst = server.container.create_instance("Whiteboard")
+        stub = server.orb.stub(inst.ports.facet("surface").ior,
+                               SURFACE_IFACE)
+        server.orb.sync(stub.add_stroke(stroke()))
+        server.orb.sync(stub.add_stroke(stroke("bob", "blue")))
+        strokes = server.orb.sync(stub.strokes())
+        assert [s["author"] for s in strokes] == ["alice", "bob"]
+        assert server.orb.sync(stub.revision()) == 2
+        server.orb.sync(stub.clear())
+        assert server.orb.sync(stub.strokes()) == []
+
+    def test_full_collaboration_pipeline(self, office):
+        """Fig. 2, end to end: stroke -> event -> GUI parts -> displays."""
+        server = office.node("server")
+        server.install_package(whiteboard_package())
+        server.install_package(gui_part_package())
+        displays = {}
+        for user in ("alice", "bob"):
+            office.node(user).install_package(display_package())
+            displays[user] = office.node(user).container.create_instance(
+                "Display")
+        asm = AssemblyDescriptor(
+            name="wb",
+            instances=[AssemblyInstance("board", "Whiteboard"),
+                       AssemblyInstance("gui_a", "BoardGui"),
+                       AssemblyInstance("gui_b", "BoardGui")],
+            connections=[
+                AssemblyConnection("gui_a", "board", "board", "changes",
+                                   kind="event"),
+                AssemblyConnection("gui_b", "board", "board", "changes",
+                                   kind="event"),
+            ])
+        dep = Deployer(office.nodes, RuntimePlanner(),
+                       coordinator_host="server")
+        app = office.run(until=dep.deploy(asm))
+        # wire each GUI part to its user's local display
+        for user, gui in (("alice", "gui_a"), ("bob", "gui_b")):
+            agent = server.service_stub(app.placement[gui], "container")
+            office.run(until=agent.connect(
+                app.instance_id(gui), "display",
+                displays[user].ports.facet("graphics").ior.to_string()))
+        surface = server.orb.stub(app.facet_ior("board", "surface"),
+                                  SURFACE_IFACE)
+        server.orb.sync(surface.add_stroke(stroke()))
+        office.run(until=office.env.now + 1.0)
+        assert displays["alice"].executor.drawn == 1
+        assert displays["bob"].executor.drawn == 1
+
+    def test_gui_part_replacement_changes_render_style(self, office):
+        server = office.node("server")
+        server.install_package(gui_part_package(style="filled",
+                                                name="FilledGui"))
+        server.install_package(display_package())
+        display = server.container.create_instance("Display")
+        gui = server.container.create_instance("FilledGui")
+        server.container.connect(gui.instance_id, "display",
+                                 display.ports.facet("graphics").ior)
+        from repro.orb.cdr import Any
+        from repro.cscw.whiteboard import STROKE_TC
+        gui.executor.on_event("board", Any(STROKE_TC, stroke()))
+        office.run(until=office.env.now + 1.0)
+        assert display.executor.windows[
+            f"window.{gui.instance_id}"][0].startswith("filled:")
+
+
+class TestVideo:
+    def make_pipeline(self, decoder_host):
+        topo = Topology()
+        topo.add_host("camhost", SERVER)
+        topo.add_host("viewer", DESKTOP)
+        topo.add_link("camhost", "viewer", WAN)
+        rig = SimRig(topo)
+        cam, viewer = rig.node("camhost"), rig.node("viewer")
+        cam.install_package(stream_source_package())
+        cam.install_package(video_decoder_package())
+        viewer.install_package(display_package())
+        src = cam.container.create_instance("StreamSource")
+        disp = viewer.container.create_instance("Display")
+        if decoder_host == "viewer":
+            # ship the package, then create at the viewer
+            viewer.install_package(video_decoder_package())
+            dec = viewer.container.create_instance("VideoDecoder")
+            owner = viewer
+        else:
+            dec = cam.container.create_instance("VideoDecoder")
+            owner = cam
+        owner.container.connect(dec.instance_id, "source",
+                                src.ports.facet("stream").ior)
+        owner.container.connect(dec.instance_id, "display",
+                                disp.ports.facet("graphics").ior)
+        return rig, disp, dec
+
+    def test_decoder_achieves_frame_rate_when_local_to_display(self):
+        rig, disp, dec = self.make_pipeline("viewer")
+        rig.run(until=10.0)
+        assert dec.executor.decoded >= 0.9 * FRAME_RATE * 10
+
+    def test_remote_decoder_ships_decoded_pixels(self):
+        rig, disp, dec = self.make_pipeline("camhost")
+        rig.run(until=5.0)
+        # each frame crosses the WAN decoded: expansion x encoded bytes
+        assert rig.metrics.get("net.bytes") > (
+            dec.executor.decoded * ENCODED_FRAME_BYTES * DECODE_EXPANSION
+            * 0.9)
+
+    def test_migrating_decoder_cuts_wan_bytes_per_frame(self):
+        rig, disp, dec = self.make_pipeline("camhost")
+        rig.run(until=5.0)
+        frames0 = disp.executor.drawn
+        bytes0 = rig.metrics.get("net.bytes")
+        per_frame_remote = bytes0 / max(1, frames0)
+        cam = rig.node("camhost")
+        rig.run(until=MigrationEngine(cam).migrate(dec.instance_id,
+                                                   "viewer"))
+        frames1 = disp.executor.drawn
+        bytes1 = rig.metrics.get("net.bytes")
+        rig.run(until=rig.env.now + 5.0)
+        per_frame_local = ((rig.metrics.get("net.bytes") - bytes1)
+                           / max(1, disp.executor.drawn - frames1))
+        assert per_frame_local < per_frame_remote / 3
+
+    def test_decode_loop_survives_migration(self):
+        rig, disp, dec = self.make_pipeline("camhost")
+        rig.run(until=3.0)
+        frame_before = dec.executor.frame_no
+        cam = rig.node("camhost")
+        info = rig.run(until=MigrationEngine(cam).migrate(
+            dec.instance_id, "viewer"))
+        moved = rig.node("viewer").container.find_instance(
+            info.instance_id)
+        assert moved.executor.frame_no >= frame_before
+        rig.run(until=rig.env.now + 3.0)
+        assert moved.executor.frame_no > frame_before  # still decoding
+
+
+class TestPdaThinClient:
+    def test_pda_runs_whiteboard_with_all_components_remote(self):
+        """§3.1: PDAs 'can use all components remotely'."""
+        from repro.sim.topology import WIRELESS
+        topo = Topology()
+        topo.add_host("server", SERVER)
+        topo.add_host("pda", PDA)
+        topo.add_link("server", "pda", WIRELESS)
+        rig = SimRig(topo)
+        server, pda = rig.node("server"), rig.node("pda")
+        server.install_package(whiteboard_package())
+        server.install_package(gui_part_package())
+        # Only the display runs on the PDA (cheap enough for its QoS);
+        # everything else stays on the server.
+        pda.install_package(
+            display_package().extract_subset(PDA.os, PDA.arch, PDA.orb))
+        display = pda.container.create_instance("Display")
+        board = server.container.create_instance("Whiteboard")
+        gui = server.container.create_instance("BoardGui")
+        server.container.connect(gui.instance_id, "display",
+                                 display.ports.facet("graphics").ior)
+        surface = pda.orb.stub(board.ports.facet("surface").ior,
+                               SURFACE_IFACE)
+        # the PDA user draws via the remote surface
+        pda.orb.sync(surface.add_stroke(stroke("pda-user")))
+        rig.run(until=rig.env.now + 2.0)
+        assert display.executor.drawn == 1
+        # GUI part never ran on the PDA
+        assert all(i.component_name == "Display"
+                   for i in pda.container.instances())

@@ -1,0 +1,102 @@
+"""Soft application evolution (§1).
+
+"Enhanced versions of existing components can substitute previous
+versions seamlessly ...  New components can also add new functionality
+... thus allowing applications to evolve easily."
+
+Scenario: Counter 1.0 serves an application; Counter 2.0 is installed
+at run time.  New resolutions pick 2.0, running 1.0 instances keep
+serving, and version-range pins still select 1.x on demand.
+"""
+
+import pytest
+
+from repro.registry.groups import DistributedRegistry, RegistryConfig
+from repro.testing import COUNTER_IFACE, SimRig, counter_package, star_rig
+from repro.xmlmeta.versions import Version, VersionRange
+
+
+class TestVersionedSubstitution:
+    def test_new_version_becomes_default_old_keeps_running(self):
+        rig = star_rig(2, seed=60)
+        hub = rig.node("hub")
+        hub.install_package(counter_package("1.0.0"))
+        old = hub.container.create_instance("Counter")
+        old.executor.count = 7
+
+        # run-time upgrade: v2 arrives through the acceptor
+        acceptor = rig.node("h0").service_stub("hub", "acceptor")
+        rig.node("h0").orb.sync(
+            acceptor.install(counter_package("2.0.0").data))
+        assert hub.repository.is_installed("Counter",
+                                           VersionRange(">=2.0"))
+
+        # the old instance keeps serving, untouched
+        stub = rig.node("h0").orb.stub(old.ports.facet("value").ior,
+                                       COUNTER_IFACE)
+        assert rig.node("h0").orb.sync(stub.read()) == 7
+
+        # fresh instantiation defaults to the best version
+        fresh = hub.container.create_instance("Counter")
+        assert fresh.component_class.version == Version(2, 0, 0)
+        assert old.component_class.version == Version(1, 0, 0)
+
+        # but a pinned range still selects the 1.x line
+        pinned = hub.container.create_instance(
+            "Counter", versions=VersionRange(">=1.0, <2.0"))
+        assert pinned.component_class.version == Version(1, 0, 0)
+
+    def test_factory_and_registry_reflect_both_versions(self):
+        rig = star_rig(1, seed=61)
+        hub = rig.node("hub")
+        hub.install_package(counter_package("1.0.0"))
+        hub.install_package(counter_package("1.5.0"))
+        infos = hub.registry.installed()
+        versions = sorted(i.version for i in infos)
+        assert versions == ["1.0.0", "1.5.0"]
+
+    def test_network_resolution_prefers_running_then_best_version(self):
+        rig = star_rig(2, seed=62)
+        hub = rig.node("hub")
+        hub.install_package(counter_package("1.0.0"))
+        dr = DistributedRegistry(rig.nodes,
+                                 RegistryConfig(update_interval=1.0))
+        dr.deploy({"g0": rig.topology.host_ids()})
+        rig.run(until=dr.settle_time())
+
+        # first resolution creates a 1.0 instance
+        ior1 = rig.run(until=rig.node("h0").request_component(
+            COUNTER_IFACE.repo_id))
+        rig.run(until=rig.env.now + 3.0)
+        # an already-running provider is reused even after an upgrade
+        hub.install_package(counter_package("2.0.0"))
+        rig.run(until=rig.env.now + 3.0)
+        ior2 = rig.run(until=rig.node("h1").request_component(
+            COUNTER_IFACE.repo_id))
+        assert ior2 == ior1  # substitutability: same interface satisfied
+
+    def test_old_version_can_be_retired(self):
+        rig = star_rig(1, seed=63)
+        hub = rig.node("hub")
+        hub.install_package(counter_package("1.0.0"))
+        hub.install_package(counter_package("2.0.0"))
+        hub.repository.remove("Counter", Version(1, 0, 0))
+        assert not hub.repository.is_installed(
+            "Counter", VersionRange("<2.0"))
+        inst = hub.container.create_instance("Counter")
+        assert inst.component_class.version == Version(2, 0, 0)
+
+
+class TestInterfaceCompatibleReplacement:
+    def test_component_with_superior_offerings_substitutes(self):
+        """§2.1: substitution by a component 'with the same (or even
+        superior) offerings'."""
+        rig = star_rig(1, seed=64)
+        hub = rig.node("hub")
+        # "SuperCounter" provides the same Counter interface
+        hub.install_package(counter_package(name="SuperCounter"))
+        ior = rig.run(until=hub.request_component(COUNTER_IFACE.repo_id))
+        stub = hub.orb.stub(ior, COUNTER_IFACE)
+        assert hub.orb.sync(stub.increment(1)) == 1
+        # the client never named "SuperCounter": only the interface
+        assert ior.object_key.startswith("SuperCounter")

@@ -1,0 +1,210 @@
+"""Unit tests for DII, the interface repository, naming and events."""
+
+import pytest
+
+from repro.orb.cdr import Any
+from repro.orb.core import InterfaceDef, ORB, Servant, op
+from repro.orb.dii import (
+    GLOBAL_IFR,
+    InterfaceRepository,
+    Request,
+    request_from_ifr,
+)
+from repro.orb.exceptions import BAD_OPERATION, BAD_PARAM
+from repro.orb.services.events import (
+    CallbackPushConsumer,
+    EVENT_CHANNEL_IFACE,
+    EventChannelServant,
+)
+from repro.orb.services.naming import (
+    AlreadyBound,
+    NAMING_IFACE,
+    NamingServant,
+    NotFound,
+)
+from repro.orb.typecodes import tc_long, tc_string
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+from repro.sim.topology import star
+from repro.util.errors import ConfigurationError
+
+CALC = InterfaceDef("IDL:diitest/Calc:1.0", "Calc", operations=[
+    op("add", [("a", tc_long), ("b", tc_long)], tc_long),
+])
+
+
+class CalcServant(Servant):
+    _interface = CALC
+
+    def add(self, a, b):
+        return a + b
+
+
+@pytest.fixture
+def rig():
+    env = Environment()
+    net = Network(env, star(2))
+    server = ORB(env, net, "hub")
+    client = ORB(env, net, "h0")
+    ior = server.adapter("root").activate(CalcServant())
+    return env, server, client, ior
+
+
+class TestInterfaceRepository:
+    def test_register_and_lookup(self):
+        ifr = InterfaceRepository()
+        ifr.register(CALC)
+        assert ifr.lookup(CALC.repo_id) is CALC
+        assert CALC.repo_id in ifr
+
+    def test_duplicate_identity_is_idempotent(self):
+        ifr = InterfaceRepository()
+        ifr.register(CALC)
+        ifr.register(CALC)  # same object: fine
+
+    def test_conflicting_registration_rejected(self):
+        ifr = InterfaceRepository()
+        ifr.register(CALC)
+        clone = InterfaceDef(CALC.repo_id, "Other")
+        with pytest.raises(ConfigurationError):
+            ifr.register(clone)
+        ifr.register(clone, replace=True)
+        assert ifr.lookup(CALC.repo_id) is clone
+
+    def test_require_unknown_raises(self):
+        ifr = InterfaceRepository()
+        with pytest.raises(BAD_PARAM):
+            ifr.require("IDL:nope:1.0")
+
+
+class TestDII:
+    def test_manual_request(self, rig):
+        env, server, client, ior = rig
+        req = (Request(client, ior, "add")
+               .add_in_arg("a", tc_long, 20)
+               .add_in_arg("b", tc_long, 22)
+               .set_return_type(tc_long))
+        assert req.invoke_sync() == 42
+
+    def test_request_from_ifr(self, rig):
+        env, server, client, ior = rig
+        ifr = InterfaceRepository()
+        ifr.register(CALC)
+        req = request_from_ifr(client, ifr, ior, "add", (1, 2))
+        assert req.invoke_sync() == 3
+
+    def test_request_from_ifr_checks_operation(self, rig):
+        env, server, client, ior = rig
+        ifr = InterfaceRepository()
+        ifr.register(CALC)
+        with pytest.raises(BAD_OPERATION):
+            request_from_ifr(client, ifr, ior, "mul", (1, 2))
+
+    def test_request_from_ifr_checks_arity(self, rig):
+        env, server, client, ior = rig
+        ifr = InterfaceRepository()
+        ifr.register(CALC)
+        with pytest.raises(BAD_PARAM):
+            request_from_ifr(client, ifr, ior, "add", (1,))
+
+
+class TestNaming:
+    @pytest.fixture
+    def naming(self, rig):
+        env, server, client, calc_ior = rig
+        ns_ior = server.adapter("services").activate(NamingServant(),
+                                                     key="naming")
+        return env, client, client.stub(ns_ior, NAMING_IFACE), calc_ior
+
+    def test_bind_resolve(self, naming):
+        env, client, ns, calc_ior = naming
+        client.sync(ns.bind("apps/calc", calc_ior))
+        assert client.sync(ns.resolve("apps/calc")) == calc_ior
+
+    def test_double_bind_raises_already_bound(self, naming):
+        env, client, ns, calc_ior = naming
+        client.sync(ns.bind("x", calc_ior))
+        with pytest.raises(AlreadyBound):
+            client.sync(ns.bind("x", calc_ior))
+
+    def test_rebind_overwrites(self, naming):
+        env, client, ns, calc_ior = naming
+        client.sync(ns.bind("x", calc_ior))
+        client.sync(ns.rebind("x", None))
+        assert client.sync(ns.resolve("x")) is None
+
+    def test_resolve_unknown_raises_not_found(self, naming):
+        env, client, ns, calc_ior = naming
+        with pytest.raises(NotFound):
+            client.sync(ns.resolve("ghost"))
+
+    def test_unbind(self, naming):
+        env, client, ns, calc_ior = naming
+        client.sync(ns.bind("x", calc_ior))
+        client.sync(ns.unbind("x"))
+        with pytest.raises(NotFound):
+            client.sync(ns.resolve("x"))
+        with pytest.raises(NotFound):
+            client.sync(ns.unbind("x"))
+
+    def test_list_prefix(self, naming):
+        env, client, ns, calc_ior = naming
+        for name in ("apps/a", "apps/b", "sys/c"):
+            client.sync(ns.bind(name, calc_ior))
+        assert client.sync(ns.list("apps/")) == ["apps/a", "apps/b"]
+        assert client.sync(ns.list("")) == ["apps/a", "apps/b", "sys/c"]
+
+
+class TestEventChannel:
+    def test_fanout_to_multiple_consumers(self, rig):
+        env, server, client, _ior = rig
+        chan = EventChannelServant(server, "tick")
+        chan_ior = server.adapter("services").activate(chan)
+        got_a, got_b = [], []
+        ior_a = client.adapter("root").activate(
+            CallbackPushConsumer(lambda a: got_a.append(a.value)))
+        ior_b = client.adapter("root").activate(
+            CallbackPushConsumer(lambda a: got_b.append(a.value)))
+        stub = client.stub(chan_ior, EVENT_CHANNEL_IFACE)
+        client.sync(stub.connect_push_consumer(ior_a))
+        client.sync(stub.connect_push_consumer(ior_b))
+        client.sync(stub.push(Any(tc_string, "e1")))
+        env.run(until=env.now + 1)
+        assert got_a == ["e1"]
+        assert got_b == ["e1"]
+
+    def test_duplicate_connect_ignored(self, rig):
+        env, server, client, _ior = rig
+        chan = EventChannelServant(server, "k")
+        chan_ior = server.adapter("services").activate(chan)
+        got = []
+        cons = client.adapter("root").activate(
+            CallbackPushConsumer(lambda a: got.append(a.value)))
+        stub = client.stub(chan_ior, EVENT_CHANNEL_IFACE)
+        client.sync(stub.connect_push_consumer(cons))
+        client.sync(stub.connect_push_consumer(cons))
+        client.sync(stub.push(Any(tc_string, "x")))
+        env.run(until=env.now + 1)
+        assert got == ["x"]
+
+    def test_disconnect_stops_delivery(self, rig):
+        env, server, client, _ior = rig
+        chan = EventChannelServant(server, "k")
+        chan_ior = server.adapter("services").activate(chan)
+        got = []
+        cons = client.adapter("root").activate(
+            CallbackPushConsumer(lambda a: got.append(a.value)))
+        stub = client.stub(chan_ior, EVENT_CHANNEL_IFACE)
+        client.sync(stub.connect_push_consumer(cons))
+        client.sync(stub.disconnect_push_consumer(cons))
+        client.sync(stub.push(Any(tc_string, "x")))
+        env.run(until=env.now + 1)
+        assert got == []
+
+    def test_nil_consumer_rejected(self, rig):
+        env, server, client, _ior = rig
+        chan = EventChannelServant(server, "k")
+        chan_ior = server.adapter("services").activate(chan)
+        stub = client.stub(chan_ior, EVENT_CHANNEL_IFACE)
+        with pytest.raises(BAD_PARAM):
+            client.sync(stub.connect_push_consumer(None))

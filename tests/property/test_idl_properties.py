@@ -1,0 +1,147 @@
+"""Property-based tests: random IDL ASTs survive unparse -> parse."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.idl import compile_ast, parse
+from repro.idl import idlast as ast
+from repro.idl.unparse import unparse
+
+_idents = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,6}", fullmatch=True).filter(
+    lambda s: s not in {
+        # keywords can't be identifiers
+        "module", "interface", "struct", "enum", "union", "switch",
+        "case", "default", "typedef", "exception", "const", "attribute",
+        "readonly", "oneway", "in", "out", "inout", "raises", "sequence",
+        "string", "void", "short", "long", "unsigned", "float", "double",
+        "boolean", "char", "octet", "any", "Object", "TRUE", "FALSE",
+    }
+)
+
+_primitive_names = st.sampled_from([
+    "short", "long", "unsigned short", "unsigned long", "long long",
+    "unsigned long long", "float", "double", "boolean", "char", "octet",
+    "string", "any",
+])
+
+
+@st.composite
+def _types(draw, depth=1):
+    if depth == 0 or draw(st.integers(0, 2)) > 0:
+        return ast.PrimitiveType(draw(_primitive_names))
+    return ast.SequenceType(element=draw(_types(depth - 1)),
+                            bound=draw(st.sampled_from([0, 0, 8])))
+
+
+@st.composite
+def _members(draw, names):
+    return ast.Member(type=draw(_types()), name=draw(names))
+
+
+@st.composite
+def _structs(draw, used_names):
+    name = draw(_idents.filter(lambda n: n not in used_names))
+    used_names.add(name)
+    member_names = draw(st.lists(_idents, min_size=1, max_size=4,
+                                 unique=True))
+    members = [ast.Member(type=draw(_types()), name=m)
+               for m in member_names]
+    return ast.StructDecl(name=name, members=members)
+
+
+@st.composite
+def _enums(draw, used_names):
+    name = draw(_idents.filter(lambda n: n not in used_names))
+    used_names.add(name)
+    labels = draw(st.lists(_idents, min_size=1, max_size=4, unique=True))
+    return ast.EnumDecl(name=name, labels=labels)
+
+
+@st.composite
+def _interfaces(draw, used_names):
+    name = draw(_idents.filter(lambda n: n not in used_names))
+    used_names.add(name)
+    ops = []
+    op_names = draw(st.lists(_idents, min_size=0, max_size=3,
+                             unique=True))
+    for op_name in op_names:
+        n_params = draw(st.integers(0, 3))
+        param_names = draw(st.lists(_idents, min_size=n_params,
+                                    max_size=n_params, unique=True))
+        params = [
+            ast.ParamDecl(mode=draw(st.sampled_from(["in", "out",
+                                                     "inout"])),
+                          type=draw(_types()), name=p)
+            for p in param_names
+        ]
+        oneway = (draw(st.booleans())
+                  and all(p.mode == "in" for p in params))
+        result = None if oneway else draw(
+            st.one_of(st.none(), _types()))
+        ops.append(ast.OperationDecl(name=op_name, result=result,
+                                     params=params, oneway=oneway))
+    attr_names = draw(st.lists(
+        _idents.filter(lambda n: n not in set(op_names)),
+        min_size=0, max_size=2, unique=True))
+    attrs = [ast.AttributeDecl(name=a, type=draw(_types()),
+                               readonly=draw(st.booleans()))
+             for a in attr_names]
+    return ast.InterfaceDecl(name=name, bases=[], body=ops + attrs)
+
+
+@st.composite
+def _specs(draw):
+    used: set[str] = set()
+    definitions = draw(st.lists(
+        st.one_of(_structs(used), _enums(used), _interfaces(used)),
+        min_size=1, max_size=5))
+    prefix = draw(st.sampled_from(["", "omg.org", "acme"]))
+    return ast.Specification(definitions=definitions, prefix=prefix)
+
+
+@given(_specs())
+@settings(max_examples=150, deadline=None)
+def test_unparse_parse_roundtrip(spec):
+    text = unparse(spec)
+    reparsed = parse(text)
+    assert reparsed.prefix == spec.prefix
+    assert reparsed.definitions == spec.definitions
+
+
+@given(_specs())
+@settings(max_examples=60, deadline=None)
+def test_unparsed_idl_compiles(spec):
+    """Whatever the generator produces must also survive codegen."""
+    from repro.orb.dii import InterfaceRepository
+    module = compile_ast(parse(unparse(spec)),
+                         ifr=InterfaceRepository())
+    for node in spec.definitions:
+        assert node.name in module
+
+
+def test_unparse_known_sample_matches_parse():
+    source = """#pragma prefix "corbalc"
+module Demo {
+  enum Color { red, green };
+  struct P { double x; sequence<long> xs; };
+  union V switch (Color) {
+    case red:
+      long i;
+    default:
+      string s;
+  };
+  interface I {
+    readonly attribute string name;
+    P get(in Color c, out long n) raises (Bad);
+    oneway void poke(in string tag);
+  };
+  exception Bad { string why; };
+  typedef long Grid[2][3];
+  const double PI = 3.14;
+};
+"""
+    spec = parse(source)
+    again = parse(unparse(spec))
+    assert again.definitions == spec.definitions
+    assert again.prefix == spec.prefix

@@ -1,0 +1,106 @@
+"""Tests for the fetch-vs-remote materialization decision (§2.4.3).
+
+"The network can decide either to instantiate the component in its
+original node or to fetch the component to be locally installed,
+instantiated and run.  For example, a component decoding a MPEG video
+stream would work much faster if it is installed locally."
+"""
+
+import pytest
+
+from repro.registry.groups import DistributedRegistry, RegistryConfig
+from repro.registry.queries import (
+    FETCH_BANDWIDTH_THRESHOLD,
+    FloodResolver,
+)
+from repro.testing import COUNTER_IFACE, SimRig, counter_package, star_rig
+from repro.util.errors import ConfigurationError
+from repro.xmlmeta.descriptors import QoSSpec
+
+
+def deploy(placement: str, seed=70, component_kwargs=None):
+    rig = star_rig(2, seed=seed)
+    hub = rig.node("hub")
+    hub.install_package(counter_package(**(component_kwargs or {})))
+    cfg = RegistryConfig(update_interval=1.0, placement=placement)
+    dr = DistributedRegistry(rig.nodes, cfg)
+    dr.deploy({"g0": rig.topology.host_ids()})
+    rig.run(until=dr.settle_time())
+    return rig, hub
+
+
+class TestPlacementPolicies:
+    def test_remote_policy_instantiates_at_origin(self):
+        rig, hub = deploy("remote")
+        requester = rig.node("h0")
+        ior = rig.run(until=requester.request_component(
+            COUNTER_IFACE.repo_id))
+        assert ior.host_id == "hub"
+        assert not requester.repository.is_installed("Counter")
+        assert rig.metrics.get("resolver.remote_instances") == 1
+
+    def test_fetch_policy_installs_locally(self):
+        rig, hub = deploy("fetch")
+        requester = rig.node("h0")
+        ior = rig.run(until=requester.request_component(
+            COUNTER_IFACE.repo_id))
+        assert ior.host_id == "h0"
+        assert requester.repository.is_installed("Counter")
+        assert rig.metrics.get("resolver.fetched") == 1
+
+    def test_auto_policy_fetches_only_bandwidth_heavy_components(self):
+        rig, hub = deploy("auto")
+        requester = rig.node("h0")
+        # modest bandwidth need -> use remotely
+        ior = rig.run(until=requester.request_component(
+            COUNTER_IFACE.repo_id, qos=QoSSpec(bandwidth_bps=1000.0)))
+        assert ior.host_id == "hub"
+
+        rig2, hub2 = deploy("auto", seed=71)
+        requester2 = rig2.node("h0")
+        # stream-class bandwidth -> fetch next to the consumer
+        ior2 = rig2.run(until=requester2.request_component(
+            COUNTER_IFACE.repo_id,
+            qos=QoSSpec(bandwidth_bps=FETCH_BANDWIDTH_THRESHOLD * 2)))
+        assert ior2.host_id == "h0"
+        assert requester2.repository.is_installed("Counter")
+
+    def test_pinned_component_never_fetched(self):
+        rig, hub = deploy("fetch", component_kwargs={
+            "mobility": "pinned"})
+        requester = rig.node("h0")
+        ior = rig.run(until=requester.request_component(
+            COUNTER_IFACE.repo_id))
+        # pinned: must be used remotely from where it is installed
+        assert ior.host_id == "hub"
+        assert not requester.repository.is_installed("Counter")
+
+    def test_invalid_policy_rejected(self):
+        rig = star_rig(1)
+        with pytest.raises(ConfigurationError):
+            FloodResolver(rig.node("hub"), ["hub"],
+                          RegistryConfig().mrm_config(),
+                          placement="teleport")
+
+
+class TestFloodQoS:
+    def test_flood_respects_cpu_filter(self):
+        rig = star_rig(2, seed=72)
+        hub = rig.node("hub")
+        hub.install_package(counter_package())
+        flood = FloodResolver(rig.node("h0"), rig.topology.host_ids(),
+                              RegistryConfig().mrm_config())
+        from repro.orb.exceptions import TRANSIENT
+        with pytest.raises(TRANSIENT):
+            rig.run(until=flood.resolve(COUNTER_IFACE.repo_id,
+                                        qos=QoSSpec(cpu_units=1e9)))
+
+    def test_flood_reuses_running_instances(self):
+        rig = star_rig(2, seed=73)
+        hub = rig.node("hub")
+        hub.install_package(counter_package())
+        inst = hub.container.create_instance("Counter")
+        flood = FloodResolver(rig.node("h0"), rig.topology.host_ids(),
+                              RegistryConfig().mrm_config())
+        ior = rig.run(until=flood.resolve(COUNTER_IFACE.repo_id))
+        assert ior == inst.ports.facet("value").ior

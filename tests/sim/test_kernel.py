@@ -1,0 +1,323 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.kernel import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    Timeout,
+)
+
+
+class TestEvent:
+    def test_pending_until_triggered(self, env):
+        ev = env.event()
+        assert not ev.triggered
+        assert not ev.processed
+        ev.succeed(7)
+        assert ev.triggered
+        assert ev.ok
+        assert ev.value == 7
+
+    def test_double_trigger_rejected(self, env):
+        ev = env.event()
+        ev.succeed(1)
+        with pytest.raises(RuntimeError):
+            ev.succeed(2)
+        with pytest.raises(RuntimeError):
+            ev.fail(ValueError("x"))
+
+    def test_fail_requires_exception(self, env):
+        ev = env.event()
+        with pytest.raises(TypeError):
+            ev.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, env):
+        ev = env.event()
+        with pytest.raises(RuntimeError):
+            _ = ev.value
+        with pytest.raises(RuntimeError):
+            _ = ev.ok
+
+    def test_callbacks_run_on_processing(self, env):
+        ev = env.event()
+        seen = []
+        ev.callbacks.append(lambda e: seen.append(e.value))
+        ev.succeed("hello")
+        env.run()
+        assert seen == ["hello"]
+        assert ev.processed
+
+    def test_undefused_failure_crashes_run(self, env):
+        ev = env.event()
+        ev.fail(ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            env.run()
+
+    def test_defused_failure_is_silent(self, env):
+        ev = env.event()
+        ev.fail(ValueError("boom")).defused()
+        env.run()  # no raise
+
+
+class TestTimeout:
+    def test_fires_at_delay(self, env):
+        t = env.timeout(5.0, value="done")
+        result = env.run(until=t)
+        assert result == "done"
+        assert env.now == 5.0
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.timeout(-1)
+
+    def test_zero_delay_fires_immediately(self, env):
+        t = env.timeout(0)
+        env.run(until=t)
+        assert env.now == 0.0
+
+    def test_ordering_same_time_is_fifo(self, env):
+        order = []
+        for i in range(5):
+            env.timeout(1.0).callbacks.append(
+                lambda _e, i=i: order.append(i)
+            )
+        env.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestProcess:
+    def test_return_value(self, env):
+        def proc():
+            yield env.timeout(1)
+            return 99
+        assert env.run(until=env.process(proc())) == 99
+
+    def test_yield_value_passthrough(self, env):
+        def proc():
+            got = yield env.timeout(2, value="abc")
+            return got
+        assert env.run(until=env.process(proc())) == "abc"
+
+    def test_sequential_timeouts_accumulate(self, env):
+        def proc():
+            yield env.timeout(1)
+            yield env.timeout(2)
+            yield env.timeout(3)
+            return env.now
+        assert env.run(until=env.process(proc())) == 6.0
+
+    def test_yield_already_processed_event_continues(self, env):
+        ev = env.event()
+        ev.succeed("early")
+
+        def proc():
+            yield env.timeout(1)  # let ev be processed first
+            got = yield ev
+            return got
+        assert env.run(until=env.process(proc())) == "early"
+
+    def test_exception_in_process_propagates(self, env):
+        def proc():
+            yield env.timeout(1)
+            raise RuntimeError("inside")
+        with pytest.raises(RuntimeError, match="inside"):
+            env.run(until=env.process(proc()))
+
+    def test_failed_event_raises_inside_process(self, env):
+        ev = env.event()
+
+        def failer():
+            yield env.timeout(1)
+            ev.fail(ValueError("nope"))
+
+        def waiter():
+            try:
+                yield ev
+            except ValueError as exc:
+                return f"caught {exc}"
+        env.process(failer())
+        assert env.run(until=env.process(waiter())) == "caught nope"
+
+    def test_yield_non_event_fails_process(self, env):
+        def proc():
+            yield 42
+        with pytest.raises(RuntimeError, match="non-event"):
+            env.run(until=env.process(proc()))
+
+    def test_process_is_alive(self, env):
+        def proc():
+            yield env.timeout(5)
+        p = env.process(proc())
+        assert p.is_alive
+        env.run()
+        assert not p.is_alive
+
+    def test_nested_process(self, env):
+        def inner():
+            yield env.timeout(2)
+            return "inner-done"
+
+        def outer():
+            result = yield env.process(inner())
+            return result + "!"
+        assert env.run(until=env.process(outer())) == "inner-done!"
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+
+class TestInterrupt:
+    def test_interrupt_delivers_cause(self, env):
+        def victim():
+            try:
+                yield env.timeout(100)
+            except Interrupt as i:
+                return ("interrupted", i.cause, env.now)
+
+        p = env.process(victim())
+
+        def attacker():
+            yield env.timeout(3)
+            p.interrupt("reason")
+        env.process(attacker())
+        assert env.run(until=p) == ("interrupted", "reason", 3.0)
+
+    def test_interrupt_finished_process_rejected(self, env):
+        def quick():
+            yield env.timeout(1)
+        p = env.process(quick())
+        env.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+    def test_self_interrupt_rejected(self, env):
+        def proc():
+            me = env.active_process
+            with pytest.raises(RuntimeError):
+                me.interrupt()
+            yield env.timeout(0)
+        env.run(until=env.process(proc()))
+
+    def test_interrupted_process_can_continue(self, env):
+        def victim():
+            total = 0
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                total += 1
+            yield env.timeout(1)  # keeps running after interruption
+            return total
+
+        p = env.process(victim())
+
+        def attacker():
+            yield env.timeout(2)
+            p.interrupt()
+        env.process(attacker())
+        assert env.run(until=p) == 1
+        assert env.now == 3.0
+
+
+class TestConditions:
+    def test_anyof_first_wins(self, env):
+        def proc():
+            fast = env.timeout(1, "fast")
+            slow = env.timeout(9, "slow")
+            result = yield env.any_of([fast, slow])
+            return (list(result.values()), env.now)
+        values, now = env.run(until=env.process(proc()))
+        assert values == ["fast"]
+        assert now == 1.0
+
+    def test_allof_waits_for_all(self, env):
+        def proc():
+            evts = [env.timeout(i, f"t{i}") for i in (1, 3, 2)]
+            result = yield env.all_of(evts)
+            return (sorted(result.values()), env.now)
+        values, now = env.run(until=env.process(proc()))
+        assert values == ["t1", "t2", "t3"]
+        assert now == 3.0
+
+    def test_empty_condition_triggers_immediately(self, env):
+        def proc():
+            result = yield env.all_of([])
+            return result
+        assert env.run(until=env.process(proc())) == {}
+
+    def test_condition_failure_propagates(self, env):
+        ev = env.event()
+
+        def failer():
+            yield env.timeout(1)
+            ev.fail(ValueError("cond"))
+
+        def waiter():
+            try:
+                yield env.all_of([ev, env.timeout(10)])
+            except ValueError:
+                return "failed"
+        env.process(failer())
+        assert env.run(until=env.process(waiter())) == "failed"
+
+    def test_cross_environment_events_rejected(self, env):
+        other = Environment()
+        with pytest.raises(ValueError):
+            env.all_of([other.event()])
+
+
+class TestEnvironmentRun:
+    def test_run_until_time(self, env):
+        fired = []
+        env.timeout(1).callbacks.append(lambda e: fired.append(1))
+        env.timeout(10).callbacks.append(lambda e: fired.append(10))
+        env.run(until=5.0)
+        assert fired == [1]
+        assert env.now == 5.0
+
+    def test_run_until_past_time_rejected(self, env):
+        env.run(until=5.0)
+        with pytest.raises(ValueError):
+            env.run(until=1.0)
+
+    def test_run_exhausts_queue(self, env):
+        env.timeout(3)
+        env.run()
+        assert env.now == 3.0
+        assert env.peek() == float("inf")
+
+    def test_run_until_never_triggered_event_raises(self, env):
+        ev = env.event()
+        env.timeout(1)
+        with pytest.raises(RuntimeError, match="ran out of events"):
+            env.run(until=ev)
+
+    def test_run_until_already_processed_event(self, env):
+        ev = env.event()
+        ev.succeed("v")
+        env.run()
+        assert env.run(until=ev) == "v"
+
+    def test_step_without_events_raises(self, env):
+        with pytest.raises(RuntimeError):
+            env.step()
+
+    def test_determinism_identical_traces(self):
+        def build_and_run():
+            env = Environment()
+            trace = []
+
+            def worker(name, delay):
+                for _ in range(3):
+                    yield env.timeout(delay)
+                    trace.append((env.now, name))
+            env.process(worker("a", 1.0))
+            env.process(worker("b", 1.5))
+            env.run()
+            return trace
+        assert build_and_run() == build_and_run()

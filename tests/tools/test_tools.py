@@ -1,0 +1,205 @@
+"""Tests for the builder palette, assembly builder, and usage metering."""
+
+import pytest
+
+from repro.tools.builder import AssemblyBuilder, NetworkPalette
+from repro.tools.licensing import UsageMeter
+from repro.cscw import (
+    display_package,
+    gui_part_package,
+    whiteboard_package,
+)
+from repro.testing import COUNTER_IFACE, counter_package, star_rig
+from repro.util.errors import ValidationError
+from repro.xmlmeta.descriptors import QoSSpec
+
+
+class TestNetworkPalette:
+    @pytest.fixture
+    def rig(self):
+        r = star_rig(2)
+        r.node("hub").install_package(whiteboard_package())
+        r.node("hub").install_package(counter_package())
+        r.node("h0").install_package(counter_package())
+        r.node("hub").container.create_instance("Counter")
+        return r
+
+    def test_gather_components_and_instances(self, rig):
+        palette = rig.run(until=NetworkPalette.gather(
+            rig.node("h1"), rig.topology.host_ids()))
+        assert sorted(palette.components) == ["Counter", "Whiteboard"]
+        assert sorted(palette.components["Counter"].hosts) == ["h0", "hub"]
+        assert len(palette.instances) == 1
+        assert palette.providers_of(COUNTER_IFACE.repo_id) == ["Counter"]
+
+    def test_dead_hosts_skipped(self, rig):
+        rig.topology.set_host_state("h0", alive=False)
+        palette = rig.run(until=NetworkPalette.gather(
+            rig.node("h1"), rig.topology.host_ids()))
+        assert palette.components["Counter"].hosts == ["hub"]
+
+    def test_render_mentions_everything(self, rig):
+        a = rig.node("hub").container.create_instance("Counter")
+        b = rig.node("hub").container.create_instance("Counter")
+        rig.node("hub").container.connect(
+            a.instance_id, "peer", b.ports.facet("value").ior)
+        palette = rig.run(until=NetworkPalette.gather(
+            rig.node("h1"), rig.topology.host_ids()))
+        text = palette.render()
+        assert "Counter" in text and "Whiteboard" in text
+        assert a.instance_id in text
+        assert "-> IOR:" in text   # live connection rendered
+        assert len(palette.connections()) == 1
+
+
+class TestAssemblyBuilder:
+    def builder(self):
+        b = AssemblyBuilder("wb")
+        b.register_package(whiteboard_package())
+        b.register_package(gui_part_package())
+        b.register_package(display_package())
+        return b
+
+    def test_valid_assembly_builds(self):
+        asm = (self.builder()
+               .add("board", "Whiteboard")
+               .add("gui", "BoardGui")
+               .add("screen", "Display")
+               .connect("gui", "display", "screen", "graphics")
+               .subscribe("gui", "board", "board", "changes")
+               .build())
+        assert asm.name == "wb"
+        assert len(asm.instances) == 3
+        assert len(asm.connections) == 2
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(ValidationError, match="unknown component"):
+            self.builder().add("x", "Ghost")
+
+    def test_duplicate_instance_rejected(self):
+        b = self.builder().add("a", "Display")
+        with pytest.raises(ValidationError, match="duplicate"):
+            b.add("a", "Display")
+
+    def test_interface_type_mismatch_rejected(self):
+        b = (self.builder()
+             .add("gui", "BoardGui")
+             .add("board", "Whiteboard"))
+        # gui.display needs Display, board.surface offers Surface
+        with pytest.raises(ValidationError, match="type mismatch"):
+            b.connect("gui", "display", "board", "surface")
+
+    def test_unknown_ports_rejected(self):
+        b = (self.builder()
+             .add("gui", "BoardGui")
+             .add("screen", "Display"))
+        with pytest.raises(ValidationError, match="no receptacle"):
+            b.connect("gui", "nonexistent", "screen", "graphics")
+        with pytest.raises(ValidationError, match="no facet"):
+            b.connect("gui", "display", "screen", "nonexistent")
+
+    def test_event_kind_mismatch_rejected(self):
+        b = AssemblyBuilder("x")
+        b.register_package(counter_package())
+        b.register_package(whiteboard_package())
+        b.add("c", "Counter").add("board", "Whiteboard")
+        # counter's 'pokes' sink consumes demo.poke; board emits cscw.stroke
+        with pytest.raises(ValidationError, match="kind mismatch"):
+            b.subscribe("c", "pokes", "board", "changes")
+
+    def test_unsatisfied_mandatory_receptacle_blocks_build(self):
+        b = self.builder().add("gui", "BoardGui")
+        # gui.display is mandatory and unwired
+        assert b.unsatisfied_receptacles() == [("gui", "display")]
+        with pytest.raises(ValidationError, match="unsatisfied"):
+            b.build()
+        asm = b.build(allow_unsatisfied=True)
+        assert len(asm.instances) == 1
+
+    def test_empty_assembly_rejected(self):
+        with pytest.raises(ValidationError, match="no instances"):
+            AssemblyBuilder("empty").build()
+
+    def test_built_assembly_deploys(self):
+        """The builder's output is directly consumable by the Deployer."""
+        from repro.deployment import Deployer, RuntimePlanner
+        rig = star_rig(2)
+        hub = rig.node("hub")
+        hub.install_package(whiteboard_package())
+        hub.install_package(gui_part_package())
+        hub.install_package(display_package())
+        asm = (self.builder()
+               .add("board", "Whiteboard")
+               .add("gui", "BoardGui")
+               .add("screen", "Display")
+               .connect("gui", "display", "screen", "graphics")
+               .subscribe("gui", "board", "board", "changes")
+               .build())
+        dep = Deployer(rig.nodes, RuntimePlanner(), coordinator_host="hub")
+        app = rig.run(until=dep.deploy(asm))
+        assert set(app.placement) == {"board", "gui", "screen"}
+
+
+class TestUsageMeter:
+    def make_rig(self):
+        r = star_rig(1)
+        hub = r.node("hub")
+        hub.install_package(counter_package(name="FreeComp"))
+        # a pay-per-use component
+        from repro.testing import counter_package as cp
+        pkg = cp(name="PaidComp")
+        import dataclasses
+        # rebuild with pay-per-use licensing
+        from repro.packaging.package import ComponentPackage, PackageBuilder
+        soft = dataclasses.replace(pkg.software, license="pay-per-use",
+                                   cost_per_use=0.25)
+        builder = PackageBuilder(soft, pkg.component)
+        for path in pkg.members():
+            if path.startswith("bin/"):
+                builder.add_binary(path, pkg.member(path))
+        hub.install_package(ComponentPackage(builder.build()))
+        # and a subscription component
+        soft2 = dataclasses.replace(pkg.software, name="SubComp",
+                                    license="subscription")
+        comp2 = dataclasses.replace(pkg.component, name="SubComp")
+        builder2 = PackageBuilder(soft2, comp2)
+        for path in pkg.members():
+            if path.startswith("bin/"):
+                builder2.add_binary(path, pkg.member(path))
+        hub.install_package(ComponentPackage(builder2.build()))
+        return r, hub, UsageMeter(hub)
+
+    def test_pay_per_use_charges_per_creation(self):
+        rig, hub, meter = self.make_rig()
+        for _ in range(3):
+            inst = hub.container.create_instance("PaidComp")
+            hub.container.destroy_instance(inst.instance_id)
+        (record,) = [r for r in meter.records()
+                     if r.component == "PaidComp"]
+        assert record.uses == 3
+        assert record.charge == pytest.approx(0.75)
+
+    def test_free_components_unmetered(self):
+        rig, hub, meter = self.make_rig()
+        hub.container.create_instance("FreeComp")
+        assert all(r.component != "FreeComp" for r in meter.records())
+        assert meter.total_due() == 0.0
+
+    def test_subscription_charges_usage_time(self):
+        rig, hub, meter = self.make_rig()
+        inst = hub.container.create_instance("SubComp")
+        rig.run(until=100.0)
+        hub.container.destroy_instance(inst.instance_id)
+        (record,) = [r for r in meter.records()
+                     if r.component == "SubComp"]
+        assert record.usage_seconds == pytest.approx(100.0)
+        assert record.charge == pytest.approx(
+            100.0 * UsageMeter.SUBSCRIPTION_RATE)
+
+    def test_invoice_formats(self):
+        rig, hub, meter = self.make_rig()
+        inst = hub.container.create_instance("PaidComp")
+        hub.container.destroy_instance(inst.instance_id)
+        text = meter.invoice()
+        assert "PaidComp" in text
+        assert "total due: 0.25" in text
