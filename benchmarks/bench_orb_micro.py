@@ -76,6 +76,27 @@ def test_cdr_marshal_throughput(benchmark, capsys):
     stash(benchmark, encoded_bytes=per_value, mb_per_s=mbps)
 
 
+def test_cdr_marshal_interpreter_reference(benchmark, capsys):
+    """Same workload through the reference TypeCode interpreter, for an
+    in-run comparison against the compiled-plan numbers above."""
+    from repro.orb.cdr import encode_value_interp
+
+    def marshal():
+        enc = CDREncoder()
+        for _ in range(100):
+            encode_value_interp(enc, SAMPLE_TC, SAMPLE)
+        return enc.getvalue()
+
+    data = benchmark(marshal)
+    per_value = len(data) // 100
+    mbps = per_value * 100 / benchmark.stats["mean"] / 1e6
+    report(capsys, "C1a-ref: CDR marshalling (interpreter)",
+           ["metric", "value"],
+           [["throughput", f"{mbps:.1f} MB/s"]],
+           note="reference path; compare with C1a compiled plans")
+    stash(benchmark, mb_per_s=mbps)
+
+
 def test_cdr_unmarshal_throughput(benchmark):
     enc = CDREncoder()
     for _ in range(100):

@@ -1,0 +1,116 @@
+"""Run the C1 ORB microbenchmarks and distill ``BENCH_orb.json``.
+
+Not a pytest suite: run it as a script.  It executes
+``bench_orb_micro.py`` under pytest-benchmark, extracts the headline
+numbers (CDR marshalling MB/s, invocations per second), compares them
+against the recorded pre-optimisation interpreter baseline, and writes
+``BENCH_orb.json`` at the repository root.
+
+    PYTHONPATH=src python benchmarks/bench_to_json.py
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import tempfile
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUT = ROOT / "BENCH_orb.json"
+
+# Measured on this repo immediately before the compiled-codec PR, when
+# every encode/decode walked the TypeCode interpreter.  Kept here so the
+# JSON always records the speedup against a fixed reference point.
+BASELINE = {
+    "label": "interpreter (pre compiled-plan PR)",
+    "cdr_marshal_MB_per_s": 2.55,
+    "cdr_marshal_us_per_100_values": 11297.0,
+    "cdr_unmarshal_us_per_100_values": 11431.0,
+    "invocation_us_per_call": 575.46,
+    "calls_per_sec": 1e6 / 575.46,
+}
+
+
+def run_benchmarks() -> dict:
+    """Run bench_orb_micro.py and return pytest-benchmark's JSON."""
+    with tempfile.TemporaryDirectory() as tmp:
+        raw = pathlib.Path(tmp) / "raw.json"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(ROOT / "src") + os.pathsep + str(
+            ROOT / "benchmarks")
+        subprocess.run(
+            [sys.executable, "-m", "pytest",
+             str(ROOT / "benchmarks" / "bench_orb_micro.py"),
+             "--benchmark-only", f"--benchmark-json={raw}", "-q",
+             "-p", "no:cacheprovider"],
+            check=True, cwd=ROOT, env=env,
+        )
+        return json.loads(raw.read_text())
+
+
+def distill(raw: dict) -> dict:
+    by_name = {}
+    for bench in raw.get("benchmarks", []):
+        name = bench["name"].split("[")[0]
+        by_name[name] = {
+            "mean_s": bench["stats"]["mean"],
+            "stddev_s": bench["stats"]["stddev"],
+            "rounds": bench["stats"]["rounds"],
+            **bench.get("extra_info", {}),
+        }
+
+    marshal = by_name.get("test_cdr_marshal_throughput", {})
+    unmarshal = by_name.get("test_cdr_unmarshal_throughput", {})
+    invocation = by_name.get("test_invocation_wall_cost", {})
+
+    current = {
+        "label": "compiled codec plans",
+        "cdr_marshal_MB_per_s": marshal.get("mb_per_s"),
+        "cdr_marshal_us_per_100_values": (
+            marshal["mean_s"] * 1e6 if marshal else None),
+        "cdr_unmarshal_us_per_100_values": (
+            unmarshal["mean_s"] * 1e6 if unmarshal else None),
+        "invocation_us_per_call": invocation.get("per_call_us"),
+        "calls_per_sec": (
+            1e6 / invocation["per_call_us"]
+            if invocation.get("per_call_us") else None),
+    }
+
+    def ratio(key):
+        cur, base = current.get(key), BASELINE.get(key)
+        return round(cur / base, 2) if cur and base else None
+
+    return {
+        "generated": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "bench": "bench_orb_micro.py (C1)",
+        "machine": raw.get("machine_info", {}).get("cpu", {}).get(
+            "brand_raw", "unknown"),
+        "baseline": BASELINE,
+        "current": current,
+        "speedup": {
+            "cdr_marshal": ratio("cdr_marshal_MB_per_s"),
+            "calls_per_sec": ratio("calls_per_sec"),
+        },
+        "raw": by_name,
+    }
+
+
+def main() -> int:
+    result = distill(run_benchmarks())
+    OUT.write_text(json.dumps(result, indent=2) + "\n")
+    speed = result["speedup"]
+    print(f"wrote {OUT}")
+    print(f"  CDR marshal: {result['current']['cdr_marshal_MB_per_s']:.1f} "
+          f"MB/s ({speed['cdr_marshal']}x vs interpreter baseline)")
+    print(f"  invocations: {result['current']['calls_per_sec']:.0f} "
+          f"calls/s ({speed['calls_per_sec']}x vs interpreter baseline)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

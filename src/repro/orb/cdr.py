@@ -10,6 +10,15 @@ Supported constructed types: string, sequence, array, struct, enum,
 union, alias, exception, Any (with full recursive TypeCode
 marshalling), object references (as stringified IORs), and a fast-path
 ``sequence<octet>`` carried as Python ``bytes``.
+
+Two execution paths share this wire format:
+
+- :func:`encode_value` / :func:`decode_value` consult the compiled
+  codec-plan cache (:mod:`repro.orb.compiled`) — the hot path;
+- :func:`encode_value_interp` / :func:`decode_value_interp` walk the
+  TypeCode graph directly — the reference interpreter, kept as the
+  fallback for ``Any`` payloads near the nesting limit and as the
+  ground truth the property tests compare the plans against.
 """
 
 from __future__ import annotations
@@ -36,6 +45,21 @@ class CDREncoder:
 
     def getvalue(self) -> bytes:
         return bytes(self._buf)
+
+    def take(self) -> bytes:
+        """Return the encoded bytes and detach the internal buffer.
+
+        Unlike :meth:`getvalue` this leaves the encoder empty and ready
+        for reuse (the ORB pools encoders on its request path), so the
+        bytes are materialized exactly once per message.
+        """
+        buf = self._buf
+        self._buf = bytearray()
+        return bytes(buf)
+
+    def reset(self) -> None:
+        """Clear the buffer so the encoder can be reused."""
+        self._buf.clear()
 
     # -- alignment ---------------------------------------------------------
     def align(self, n: int) -> None:
@@ -99,9 +123,9 @@ class CDREncoder:
         self._buf.extend(data)
 
     def write_octet_sequence(self, data: bytes) -> None:
+        # bytearray/memoryview are appended directly — no bytes() copy.
         if not isinstance(data, (bytes, bytearray, memoryview)):
             raise BAD_PARAM(f"expected bytes, got {type(data).__name__}")
-        data = bytes(data)
         self.write_ulong(len(data))
         self._buf.extend(data)
 
@@ -116,7 +140,11 @@ class CDRDecoder:
     __slots__ = ("_buf", "_pos")
 
     def __init__(self, data: bytes) -> None:
-        self._buf = memoryview(bytes(data))
+        # A zero-copy view: bytes and memoryview inputs are wrapped
+        # directly; only a mutable bytearray is snapshotted.
+        if isinstance(data, bytearray):
+            data = bytes(data)
+        self._buf = memoryview(data)
         self._pos = 0
 
     @property
@@ -219,14 +247,45 @@ class Any:
 
 # -- value (un)marshalling -----------------------------------------------------
 
+_get_plan = None  # resolved lazily; avoids a circular import with compiled
+
+
 def encode_value(enc: CDREncoder, tc: TypeCode, value, _depth: int = 0) -> None:
-    """CDR-encode *value* as type *tc* into *enc*."""
+    """CDR-encode *value* as type *tc* into *enc*.
+
+    Top-level calls (``_depth == 0``) run through the compiled codec
+    plan cache; nested calls stay on the reference interpreter.
+    """
+    if _depth:
+        encode_value_interp(enc, tc, value, _depth)
+        return
+    global _get_plan
+    if _get_plan is None:
+        from repro.orb.compiled import get_plan as _get_plan_fn
+        _get_plan = _get_plan_fn
+    _get_plan(tc).encode(enc, value)
+
+
+def decode_value(dec: CDRDecoder, tc: TypeCode, _depth: int = 0):
+    """Decode a value of type *tc* from *dec* (compiled fast path)."""
+    if _depth:
+        return decode_value_interp(dec, tc, _depth)
+    global _get_plan
+    if _get_plan is None:
+        from repro.orb.compiled import get_plan as _get_plan_fn
+        _get_plan = _get_plan_fn
+    return _get_plan(tc).decode(dec)
+
+
+def encode_value_interp(enc: CDREncoder, tc: TypeCode, value,
+                        _depth: int = 0) -> None:
+    """Reference interpreter: CDR-encode *value* by walking *tc*."""
     if _depth > _MAX_NESTING:
         raise BAD_PARAM("value nesting too deep")
     kind = tc.kind
     if kind is TCKind.ALIAS:
         assert tc.content_type is not None
-        encode_value(enc, tc.content_type, value, _depth + 1)
+        encode_value_interp(enc, tc.content_type, value, _depth + 1)
     elif kind in (TCKind.NULL, TCKind.VOID):
         if value is not None:
             raise BAD_PARAM(f"void carries no value, got {value!r}")
@@ -275,7 +334,7 @@ def encode_value(enc: CDREncoder, tc: TypeCode, value, _depth: int = 0) -> None:
         enc.write_ulong(len(items))
         assert tc.content_type is not None
         for item in items:
-            encode_value(enc, tc.content_type, item, _depth + 1)
+            encode_value_interp(enc, tc.content_type, item, _depth + 1)
     elif kind is TCKind.ARRAY:
         items = list(value)
         if len(items) != tc.length:
@@ -284,7 +343,7 @@ def encode_value(enc: CDREncoder, tc: TypeCode, value, _depth: int = 0) -> None:
             )
         assert tc.content_type is not None
         for item in items:
-            encode_value(enc, tc.content_type, item, _depth + 1)
+            encode_value_interp(enc, tc.content_type, item, _depth + 1)
     elif kind in (TCKind.STRUCT, TCKind.EXCEPT):
         _encode_struct(enc, tc, value, _depth)
     elif kind is TCKind.UNION:
@@ -293,21 +352,21 @@ def encode_value(enc: CDREncoder, tc: TypeCode, value, _depth: int = 0) -> None:
         if not isinstance(value, Any):
             raise BAD_PARAM(f"expected Any, got {type(value).__name__}")
         encode_typecode(enc, value.typecode)
-        encode_value(enc, value.typecode, value.value, _depth + 1)
+        encode_value_interp(enc, value.typecode, value.value, _depth + 1)
     elif kind is TCKind.OBJREF:
         _encode_objref(enc, value)
     else:  # pragma: no cover - exhaustive over TCKind
         raise BAD_PARAM(f"cannot marshal kind {kind}")
 
 
-def decode_value(dec: CDRDecoder, tc: TypeCode, _depth: int = 0):
-    """Decode a value of type *tc* from *dec*."""
+def decode_value_interp(dec: CDRDecoder, tc: TypeCode, _depth: int = 0):
+    """Reference interpreter: decode a value of type *tc* from *dec*."""
     if _depth > _MAX_NESTING:
         raise BAD_PARAM("value nesting too deep")
     kind = tc.kind
     if kind is TCKind.ALIAS:
         assert tc.content_type is not None
-        return decode_value(dec, tc.content_type, _depth + 1)
+        return decode_value_interp(dec, tc.content_type, _depth + 1)
     if kind in (TCKind.NULL, TCKind.VOID):
         return None
     if kind is TCKind.SHORT:
@@ -344,22 +403,24 @@ def decode_value(dec: CDRDecoder, tc: TypeCode, _depth: int = 0):
     if kind is TCKind.SEQUENCE:
         n = dec.read_ulong()
         assert tc.content_type is not None
-        return [decode_value(dec, tc.content_type, _depth + 1) for _ in range(n)]
+        return [decode_value_interp(dec, tc.content_type, _depth + 1)
+                for _ in range(n)]
     if kind is TCKind.ARRAY:
         assert tc.content_type is not None
         return [
-            decode_value(dec, tc.content_type, _depth + 1)
+            decode_value_interp(dec, tc.content_type, _depth + 1)
             for _ in range(tc.length)
         ]
     if kind in (TCKind.STRUCT, TCKind.EXCEPT):
         return {
-            name: decode_value(dec, mtc, _depth + 1) for name, mtc in tc.members
+            name: decode_value_interp(dec, mtc, _depth + 1)
+            for name, mtc in tc.members
         }
     if kind is TCKind.UNION:
         return _decode_union(dec, tc, _depth)
     if kind is TCKind.ANY:
         inner_tc = decode_typecode(dec)
-        return Any(inner_tc, decode_value(dec, inner_tc, _depth + 1))
+        return Any(inner_tc, decode_value_interp(dec, inner_tc, _depth + 1))
     if kind is TCKind.OBJREF:
         return _decode_objref(dec)
     raise BAD_PARAM(f"cannot unmarshal kind {kind}")  # pragma: no cover
@@ -379,7 +440,7 @@ def _encode_struct(enc: CDREncoder, tc: TypeCode, value, depth: int) -> None:
                 raise BAD_PARAM(
                     f"struct {tc.name} value lacks member {name!r}"
                 ) from None
-        encode_value(enc, mtc, member, depth + 1)
+        encode_value_interp(enc, mtc, member, depth + 1)
     if isinstance(value, dict):
         extra = set(value) - {n for n, _ in tc.members}
         if extra:
@@ -395,22 +456,22 @@ def _encode_union(enc: CDREncoder, tc: TypeCode, value, depth: int) -> None:
             f"union {tc.name} value must be (discriminator, value)"
         ) from None
     assert tc.discriminator_type is not None
-    encode_value(enc, tc.discriminator_type, disc, depth + 1)
+    encode_value_interp(enc, tc.discriminator_type, disc, depth + 1)
     arm = _union_arm(tc, disc)
     if arm is None:
         raise BAD_PARAM(f"union {tc.name}: no arm for discriminator {disc!r}")
     _label, _name, arm_tc = arm
-    encode_value(enc, arm_tc, inner, depth + 1)
+    encode_value_interp(enc, arm_tc, inner, depth + 1)
 
 
 def _decode_union(dec: CDRDecoder, tc: TypeCode, depth: int):
     assert tc.discriminator_type is not None
-    disc = decode_value(dec, tc.discriminator_type, depth + 1)
+    disc = decode_value_interp(dec, tc.discriminator_type, depth + 1)
     arm = _union_arm(tc, disc)
     if arm is None:
         raise BAD_PARAM(f"union {tc.name}: no arm for discriminator {disc!r}")
     _label, _name, arm_tc = arm
-    return (disc, decode_value(dec, arm_tc, depth + 1))
+    return (disc, decode_value_interp(dec, arm_tc, depth + 1))
 
 
 def _union_arm(tc: TypeCode, disc):
@@ -507,12 +568,13 @@ def encode_typecode(enc: CDREncoder, tc: TypeCode, _depth: int = 0) -> None:
                 body.write_boolean(True)
             else:
                 body.write_boolean(False)
-                encode_value(body, tc.discriminator_type, label, _depth + 1)
+                encode_value_interp(body, tc.discriminator_type, label,
+                                    _depth + 1)
             body.write_string(name)
             encode_typecode(body, mtc, _depth + 1)
     else:  # pragma: no cover
         raise BAD_PARAM(f"cannot marshal TypeCode kind {tc.kind}")
-    enc.write_encapsulation(body.getvalue())
+    enc.write_encapsulation(body.take())
 
 
 def decode_typecode(dec: CDRDecoder, _depth: int = 0) -> TypeCode:
@@ -562,7 +624,7 @@ def decode_typecode(dec: CDRDecoder, _depth: int = 0) -> TypeCode:
         members = []
         for _ in range(n):
             is_default = body.read_boolean()
-            label = None if is_default else decode_value(body, disc)
+            label = None if is_default else decode_value_interp(body, disc)
             mname = body.read_string()
             members.append((label, mname, decode_typecode(body, _depth + 1)))
         return TypeCode(kind, name=name, repo_id=repo_id, members=members,

@@ -24,6 +24,7 @@ from typing import Callable, Iterable, Optional, Sequence
 
 from repro.orb import giop
 from repro.orb.cdr import CDRDecoder, CDREncoder, decode_value, encode_value
+from repro.orb.compiled import get_plan, op_codec
 from repro.orb.exceptions import (
     BAD_OPERATION,
     BAD_PARAM,
@@ -123,6 +124,9 @@ class InterfaceDef:
         self.name = name
         self.bases = tuple(bases)
         self.operations: dict[str, OperationDef] = {}
+        #: flattened name -> OperationDef lookup, built lazily on the
+        #: dispatch hot path and invalidated by add_operation.
+        self._op_cache: Optional[dict[str, OperationDef]] = None
         for odef in operations:
             self.add_operation(odef)
 
@@ -132,6 +136,7 @@ class InterfaceDef:
                 f"duplicate operation {odef.name!r} on {self.name}"
             )
         self.operations[odef.name] = odef
+        self._op_cache = None
 
     def add_attribute(self, name: str, tc: TypeCode, readonly: bool = False,
                       cpu_cost: float = DEFAULT_OP_COST) -> None:
@@ -145,14 +150,19 @@ class InterfaceDef:
             )
 
     def find_operation(self, name: str) -> Optional[OperationDef]:
-        odef = self.operations.get(name)
-        if odef is not None:
-            return odef
+        cache = self._op_cache
+        if cache is None:
+            cache = self._op_cache = self._build_op_cache()
+        return cache.get(name)
+
+    def _build_op_cache(self) -> dict[str, OperationDef]:
+        # Same precedence as the old recursive scan: own operations
+        # first, then bases in declaration order, first match wins.
+        cache = dict(self.operations)
         for base in self.bases:
-            odef = base.find_operation(name)
-            if odef is not None:
-                return odef
-        return None
+            for name, odef in base._build_op_cache().items():
+                cache.setdefault(name, odef)
+        return cache
 
     def all_operations(self) -> dict[str, OperationDef]:
         ops: dict[str, OperationDef] = {}
@@ -253,6 +263,9 @@ class Stub:
                                     timeout=_timeout, meter=_meter)
 
         call.__name__ = name
+        # Memoize on the instance so repeat calls skip __getattr__ and
+        # the operation lookup entirely.
+        self.__dict__[name] = call
         return call
 
     def __repr__(self) -> str:
@@ -278,6 +291,7 @@ class ORB:
         self._iface = network.interface(host_id)
         self._iface.bind("giop", self._on_message)
         self._adapters: dict[str, "POA"] = {}
+        self._enc_pool: list[CDREncoder] = []
         self._next_request_id = 0
         #: request_id -> (reply event, OperationDef)
         self._pending: dict[int, tuple[Event, OperationDef]] = {}
@@ -298,6 +312,16 @@ class ORB:
 
     def adapters(self) -> dict[str, "POA"]:
         return dict(self._adapters)
+
+    # -- encoder pooling ---------------------------------------------------
+    def _acquire_encoder(self) -> CDREncoder:
+        pool = self._enc_pool
+        return pool.pop() if pool else CDREncoder()
+
+    def _release_encoder(self, enc: CDREncoder) -> None:
+        # Only pooled after a take(), which leaves the buffer empty.
+        if len(self._enc_pool) < 8:
+            self._enc_pool.append(enc)
 
     # -- client side -------------------------------------------------------
     def stub(self, ior: IOR, interface: InterfaceDef) -> Stub:
@@ -322,14 +346,16 @@ class ORB:
         """
         if timeout is None:
             timeout = self.default_timeout
-        in_params = odef.in_params()
-        if len(args) != len(in_params):
+        codec = op_codec(odef)
+        if len(args) != len(codec.in_plans):
             raise BAD_PARAM(
-                f"{odef.name} expects {len(in_params)} args, got {len(args)}"
+                f"{odef.name} expects {len(codec.in_plans)} args, "
+                f"got {len(args)}"
             )
-        enc = CDREncoder()
-        for pdef, value in zip(in_params, args):
-            encode_value(enc, pdef.tc, value)
+        enc = self._acquire_encoder()
+        codec.encode_in(enc, args)
+        args_bytes = enc.take()
+        self._release_encoder(enc)
 
         self._next_request_id += 1
         request_id = self._next_request_id
@@ -340,7 +366,7 @@ class ORB:
             adapter=ior.adapter,
             object_key=ior.object_key,
             operation=odef.name,
-            args=enc.getvalue(),
+            args=args_bytes,
         )
         wire = request.encode()
         self.metrics.counter("orb.requests").inc()
@@ -418,7 +444,7 @@ class ORB:
                     f"{type(servant).__name__} lacks {request.operation!r}"
                 )
             dec = CDRDecoder(request.args)
-            args = [decode_value(dec, p.tc) for p in odef.in_params()]
+            args = op_codec(odef).decode_in(dec)
 
             # Charge the operation's CPU cost at this host's speed.
             cost_s = odef.cpu_cost / self.host.profile.cpu_power
@@ -452,10 +478,12 @@ class ORB:
                 ))
                 return
             _cls, tc = entry
-            enc = CDREncoder()
+            enc = self._acquire_encoder()
             enc.write_string(exc.REPO_ID)
-            encode_value(enc, tc, dict(zip(exc.FIELDS, exc.field_values())))
-            self._reply(client, request, giop.USER_EXCEPTION, enc.getvalue())
+            get_plan(tc).encode(enc, dict(zip(exc.FIELDS, exc.field_values())))
+            body = enc.take()
+            self._release_encoder(enc)
+            self._reply(client, request, giop.USER_EXCEPTION, body)
         except SystemException as exc:
             if request.response_expected:
                 self._reply_system(client, request, exc)
@@ -465,29 +493,34 @@ class ORB:
                 self._reply_system(client, request, UNKNOWN(repr(exc)))
 
     def _encode_result(self, odef: OperationDef, result) -> bytes:
-        outs = odef.out_params()
-        enc = CDREncoder()
+        codec = op_codec(odef)
+        outs = codec.out_plans
+        enc = self._acquire_encoder()
         if not outs:
-            encode_value(enc, odef.result, result)
-            return enc.getvalue()
+            codec.result_plan.encode(enc, result)
+            body = enc.take()
+            self._release_encoder(enc)
+            return body
         # Normalize to (result?, *outs)
-        if odef.result.kind is TCKind.VOID:
+        if codec.result_void:
             values = result if isinstance(result, tuple) else (result,)
             if len(values) != len(outs):
                 raise INTERNAL(
                     f"{odef.name} must return {len(outs)} out values"
                 )
-            encode_value(enc, odef.result, None)
+            codec.result_plan.encode(enc, None)
         else:
             if not isinstance(result, tuple) or len(result) != 1 + len(outs):
                 raise INTERNAL(
                     f"{odef.name} must return (result, {len(outs)} outs)"
                 )
-            encode_value(enc, odef.result, result[0])
+            codec.result_plan.encode(enc, result[0])
             values = result[1:]
-        for pdef, value in zip(outs, values):
-            encode_value(enc, pdef.tc, value)
-        return enc.getvalue()
+        for plan, value in zip(outs, values):
+            plan.encode(enc, value)
+        body = enc.take()
+        self._release_encoder(enc)
+        return body
 
     def _reply(self, client: str, request: giop.RequestMessage,
                status: int, body: bytes) -> None:
@@ -498,12 +531,14 @@ class ORB:
 
     def _reply_system(self, client: str, request: giop.RequestMessage,
                       exc: SystemException) -> None:
-        enc = CDREncoder()
+        enc = self._acquire_encoder()
         enc.write_string(exc.repo_id)
         enc.write_string(exc.reason or "")
         enc.write_ulong(exc.minor)
         enc.write_ulong(exc.completed)
-        self._reply(client, request, giop.SYSTEM_EXCEPTION, enc.getvalue())
+        body = enc.take()
+        self._release_encoder(enc)
+        self._reply(client, request, giop.SYSTEM_EXCEPTION, body)
 
     # -- client-side completion ---------------------------------------------------
     def _complete(self, reply: giop.ReplyMessage) -> None:
@@ -539,13 +574,14 @@ class ORB:
             event.fail(exc).defused()
 
     def _decode_result(self, odef: OperationDef, body: bytes):
+        codec = op_codec(odef)
         dec = CDRDecoder(body)
-        result = decode_value(dec, odef.result)
-        outs = odef.out_params()
+        result = codec.result_plan.decode(dec)
+        outs = codec.out_plans
         if not outs:
             return result
-        values = tuple(decode_value(dec, p.tc) for p in outs)
-        if odef.result.kind is TCKind.VOID:
+        values = tuple(plan.decode(dec) for plan in outs)
+        if codec.result_void:
             return values if len(values) > 1 else values[0]
         return (result,) + values
 

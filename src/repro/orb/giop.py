@@ -20,9 +20,10 @@ ulong completed``.
 
 from __future__ import annotations
 
+import struct as _struct
 from dataclasses import dataclass
 
-from repro.orb.cdr import CDRDecoder, CDREncoder
+from repro.orb.cdr import CDRDecoder
 from repro.orb.exceptions import BAD_PARAM
 
 MSG_REQUEST = 0
@@ -33,6 +34,32 @@ USER_EXCEPTION = 1
 SYSTEM_EXCEPTION = 2
 
 _VALID_STATUS = (NO_EXCEPTION, USER_EXCEPTION, SYSTEM_EXCEPTION)
+
+# Fixed header prefixes, packed in one shot instead of re-running the
+# generic CDR encoder per message.  Layouts are byte-identical to the
+# original octet/ulong/boolean writes (octet, 3 pad for ulong
+# alignment, then the header fields).
+_REQ_HEAD = _struct.Struct(">B3xI?")   # msg_type, request_id, response_expected
+_REPLY_HEAD = _struct.Struct(">B3xII")  # msg_type, request_id, status
+_ULONG = _struct.Struct(">I")
+
+
+def _append_string(buf: bytearray, s: str) -> None:
+    data = s.encode("utf-8")
+    pad = (-len(buf)) & 3
+    if pad:
+        buf += b"\x00" * pad
+    buf += _ULONG.pack(len(data) + 1)
+    buf += data
+    buf.append(0)
+
+
+def _append_octetseq(buf: bytearray, data: bytes) -> None:
+    pad = (-len(buf)) & 3
+    if pad:
+        buf += b"\x00" * pad
+    buf += _ULONG.pack(len(data))
+    buf += data
 
 
 @dataclass(frozen=True)
@@ -48,16 +75,18 @@ class RequestMessage:
     args: bytes  # CDR encapsulation of in/inout parameters
 
     def encode(self) -> bytes:
-        enc = CDREncoder()
-        enc.write_octet(MSG_REQUEST)
-        enc.write_ulong(self.request_id)
-        enc.write_boolean(self.response_expected)
-        enc.write_string(self.host)
-        enc.write_string(self.adapter)
-        enc.write_string(self.object_key)
-        enc.write_string(self.operation)
-        enc.write_octet_sequence(self.args)
-        return enc.getvalue()
+        try:
+            buf = bytearray(_REQ_HEAD.pack(
+                MSG_REQUEST, self.request_id, self.response_expected
+            ))
+        except (_struct.error, TypeError) as exc:
+            raise BAD_PARAM(f"cannot marshal request header: {exc}") from None
+        _append_string(buf, self.host)
+        _append_string(buf, self.adapter)
+        _append_string(buf, self.object_key)
+        _append_string(buf, self.operation)
+        _append_octetseq(buf, self.args)
+        return bytes(buf)
 
 
 @dataclass(frozen=True)
@@ -73,12 +102,14 @@ class ReplyMessage:
             raise BAD_PARAM(f"invalid reply status {self.status}")
 
     def encode(self) -> bytes:
-        enc = CDREncoder()
-        enc.write_octet(MSG_REPLY)
-        enc.write_ulong(self.request_id)
-        enc.write_ulong(self.status)
-        enc.write_octet_sequence(self.body)
-        return enc.getvalue()
+        try:
+            buf = bytearray(_REPLY_HEAD.pack(
+                MSG_REPLY, self.request_id, self.status
+            ))
+        except (_struct.error, TypeError) as exc:
+            raise BAD_PARAM(f"cannot marshal reply header: {exc}") from None
+        _append_octetseq(buf, self.body)
+        return bytes(buf)
 
 
 def decode_message(data: bytes) -> "RequestMessage | ReplyMessage":

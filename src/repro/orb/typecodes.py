@@ -68,7 +68,7 @@ class TypeCode:
 
     __slots__ = (
         "kind", "name", "repo_id", "members", "labels", "content_type",
-        "length", "discriminator_type", "default_index",
+        "length", "discriminator_type", "default_index", "_hash",
     )
 
     def __init__(
@@ -92,6 +92,7 @@ class TypeCode:
         self.length = length
         self.discriminator_type = discriminator_type
         self.default_index = default_index
+        self._hash: Optional[int] = None
 
     # -- identity ---------------------------------------------------------
     def _key(self) -> tuple:
@@ -105,7 +106,12 @@ class TypeCode:
         return isinstance(other, TypeCode) and self._key() == other._key()
 
     def __hash__(self) -> int:
-        return hash(self._key())
+        # TypeCodes key the codec-plan cache, so hashing is on the ORB
+        # hot path; the deep structural hash is computed once.
+        h = self._hash
+        if h is None:
+            h = self._hash = hash(self._key())
+        return h
 
     def __repr__(self) -> str:
         if self.kind in _PRIMITIVE_KINDS:
