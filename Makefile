@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test selftest bench
+
+# The one-stop gate: observability end-to-end selftest, then the full
+# tier-1 unit/integration suite.
+check: selftest test
+
+selftest:
+	$(PYTHON) -m repro.tools.obs_report --selftest
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

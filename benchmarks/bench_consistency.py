@@ -26,6 +26,7 @@ INTERVAL = 5.0
 
 def run(n_hosts: int, mode: str, churn: bool = False, seed: int = 0):
     rig = SimRig(star(n_hosts), seed=seed)
+    rig.observe()  # per-meter latency histograms + pending gauge
     hub = rig.node("hub")
     hub.install_package(counter_package())
     cfg = RegistryConfig(update_interval=INTERVAL, mode=mode)
@@ -53,38 +54,45 @@ def run(n_hosts: int, mode: str, churn: bool = False, seed: int = 0):
     msgs = rig.metrics.get(f"{meter}.msgs")
     byts = rig.metrics.get(f"{meter}.bytes")
 
+    # acked-update latency (strong only; soft reports are fire-and-forget)
+    lat = rig.metrics.find_histogram(f"{meter}.latency")
+    p50 = lat.percentile(50) if lat is not None and lat.count else None
+    p99 = lat.percentile(99) if lat is not None and lat.count else None
+
     # staleness: fraction of MRM member entries referring to dead hosts
     mrm = dr.groups["g0"].agents[0]
     stale = sum(1 for host in mrm.members
                 if not rig.topology.host(host).alive)
-    return msgs, byts, len(mrm.members), stale
+    return msgs, byts, len(mrm.members), stale, (p50, p99)
 
 
 def test_soft_vs_strong_bandwidth(benchmark, capsys):
     rows = []
     ratios = {}
     for n in (8, 16, 32):
-        soft_msgs, soft_bytes, _, _ = run(n, "soft")
-        strong_msgs, strong_bytes, _, _ = run(n, "strong")
+        soft_msgs, soft_bytes, _, _, _ = run(n, "soft")
+        strong_msgs, strong_bytes, _, _, (p50, p99) = run(n, "strong")
         ratio = strong_bytes / soft_bytes
         ratios[n] = ratio
         rows.append([n,
                      int(soft_msgs), f"{soft_bytes/WINDOW:.0f}",
                      int(strong_msgs), f"{strong_bytes/WINDOW:.0f}",
-                     f"{ratio:.1f}x"])
+                     f"{ratio:.1f}x",
+                     f"{p50*1e3:.1f}/{p99*1e3:.1f}" if p50 else "-"])
     benchmark.pedantic(lambda: run(8, "soft"), rounds=1, iterations=1)
     report(capsys, "C4a: registry maintenance bandwidth over "
                    f"{WINDOW:.0f}s (update interval {INTERVAL:.0f}s)",
            ["hosts", "soft msgs", "soft B/s", "strong msgs",
-            "strong B/s", "strong/soft"], rows,
-           note="strong = per-change acked updates + fast heartbeats")
+            "strong B/s", "strong/soft", "ack ms p50/p99"], rows,
+           note="strong = per-change acked updates + fast heartbeats; "
+                "soft reports are fire-and-forget (no ack latency)")
     assert all(r > 2.0 for r in ratios.values())
     stash(benchmark, **{f"ratio_n{n}": r for n, r in ratios.items()})
 
 
 def test_soft_state_under_churn(benchmark, capsys):
-    msgs, byts, members, stale = run(16, "soft", churn=True)
-    msgs0, byts0, members0, stale0 = run(16, "soft", churn=False)
+    msgs, byts, members, stale, _ = run(16, "soft", churn=True)
+    msgs0, byts0, members0, stale0, _ = run(16, "soft", churn=False)
     benchmark.pedantic(lambda: run(8, "soft", churn=True),
                        rounds=1, iterations=1)
     report(capsys, "C4b: soft state with node churn "

@@ -102,6 +102,7 @@ class Node:
         vendor_keys: Optional[VendorKeyRegistry] = None,
         require_signature: bool = False,
         default_timeout: Optional[float] = None,
+        obs=None,
     ) -> None:
         self.env = env
         self.network = network
@@ -112,6 +113,8 @@ class Node:
 
         self.orb = ORB(env, network, host_id,
                        default_timeout=default_timeout)
+        if obs is not None:
+            obs.install(self.orb)
         self.resources = ResourceManager(env, self.host)
         self.orb.dispatch_listeners.append(self.resources.charge)
         self.repository = ComponentRepository(

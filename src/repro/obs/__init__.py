@@ -1,0 +1,85 @@
+"""Observability: request tracing, latency/size histograms, reports.
+
+The paper's soft-vs-strong consistency argument (§2.4.3) is a claim
+about *measured* bandwidth and latency; this package is the measuring
+instrument.  One :class:`Observability` hub per simulation owns a
+:class:`~repro.obs.trace.Tracer`, a per-process
+:class:`~repro.obs.trace.ContextStore` and the interceptor pair, and
+installs them on any number of ORBs:
+
+    rig = SimRig(star(8))
+    hub = rig.observe()            # instruments every node's ORB
+    ... run the scenario ...
+    from repro.tools.obs_report import build_report, render_text
+    print(render_text(build_report(hub)))
+
+Everything is simulated-time and seeded-RNG based, so instrumented
+runs stay deterministic; uninstrumented ORBs pay nothing (the hook
+points are skipped when no interceptor is registered).
+"""
+
+from __future__ import annotations
+
+from repro.obs.interceptors import MetricsInterceptor, TracingInterceptor
+from repro.obs.trace import (
+    ContextStore,
+    SPAN_ID_KEY,
+    Span,
+    TRACE_ID_KEY,
+    TraceContext,
+    Tracer,
+)
+
+__all__ = [
+    "ContextStore",
+    "MetricsInterceptor",
+    "Observability",
+    "SPAN_ID_KEY",
+    "Span",
+    "TRACE_ID_KEY",
+    "TraceContext",
+    "Tracer",
+    "TracingInterceptor",
+]
+
+#: metric name of the per-ORB pending-reply-table depth time series.
+PENDING_DEPTH_SERIES = "orb.pending.depth"
+
+
+class Observability:
+    """One hub per simulation: tracer + context store + interceptors."""
+
+    def __init__(self, env, metrics) -> None:
+        self.env = env
+        self.metrics = metrics
+        self.tracer = Tracer(env)
+        self.context = ContextStore()
+        self.tracing = TracingInterceptor(self)
+        self.metrics_interceptor = MetricsInterceptor(self)
+        self.orbs: list = []
+
+    def install(self, orb) -> None:
+        """Instrument *orb* with tracing, metrics and a pending gauge."""
+        if orb in self.orbs:
+            return
+        orb.obs = self
+        orb.add_client_interceptor(self.tracing)
+        orb.add_client_interceptor(self.metrics_interceptor)
+        orb.add_server_interceptor(self.tracing)
+        orb.add_server_interceptor(self.metrics_interceptor)
+        depth_series = self.metrics.series(PENDING_DEPTH_SERIES)
+        orb.pending_watchers.append(
+            lambda depth: depth_series.record(self.env.now, depth))
+        self.orbs.append(orb)
+
+    def install_node(self, node) -> None:
+        self.install(node.orb)
+
+    def install_fleet(self, nodes) -> None:
+        """Instrument every node in a dict or iterable of nodes."""
+        values = nodes.values() if hasattr(nodes, "values") else nodes
+        for node in values:
+            self.install_node(node)
+
+    def traces(self):
+        return self.tracer.traces()

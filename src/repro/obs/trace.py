@@ -1,0 +1,162 @@
+"""Distributed tracing over the simulated ORB.
+
+One logical call — client process, server dispatch, nested calls the
+servant makes, retries of failed attempts — becomes one *trace*: a set
+of :class:`Span` records linked parent-to-child by span ids and stamped
+with simulated time.  Trace context crosses the wire in the GIOP
+service-context slots (:data:`TRACE_ID_KEY` / :data:`SPAN_ID_KEY`) and
+crosses *process* boundaries inside one host through the
+:class:`ContextStore`, which binds a context to the simulation process
+that is currently executing on behalf of the call.
+
+Ids are drawn from per-tracer counters, so a given simulation produces
+an identical trace set on every run (the determinism rule of
+:mod:`repro.sim.kernel` extends to observability).
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Any, Optional
+
+#: GIOP service-context slot names used for propagation.
+TRACE_ID_KEY = "trace-id"
+SPAN_ID_KEY = "span-id"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated part of a span: enough to parent a child span."""
+
+    trace_id: str
+    span_id: str
+
+
+class Span:
+    """One timed operation within a trace."""
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "kind",
+                 "host", "start", "end", "status", "error", "attrs")
+
+    def __init__(self, trace_id: str, span_id: str,
+                 parent_id: Optional[str], name: str, kind: str,
+                 host: Optional[str], start: float) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        #: "client", "server" or "internal" (retry envelopes etc.).
+        self.kind = kind
+        self.host = host
+        self.start = start
+        self.end: Optional[float] = None
+        self.status = "open"
+        self.error: Optional[str] = None
+        self.attrs: dict[str, Any] = {}
+
+    @property
+    def context(self) -> TraceContext:
+        return TraceContext(self.trace_id, self.span_id)
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            raise RuntimeError(f"span {self.span_id} not finished")
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        return (f"<Span {self.span_id} {self.name} [{self.kind}] "
+                f"{self.status}>")
+
+
+class Tracer:
+    """Creates, finishes and stores spans for one simulation."""
+
+    def __init__(self, env) -> None:
+        self.env = env
+        self.spans: list[Span] = []
+        self._next_trace = 0
+        self._next_span = 0
+
+    def start_span(self, name: str, kind: str = "internal",
+                   parent: Optional[TraceContext] = None,
+                   host: Optional[str] = None,
+                   attrs: Optional[dict] = None) -> Span:
+        """Open a span; a new trace is started when *parent* is None."""
+        if parent is None:
+            self._next_trace += 1
+            trace_id = f"t{self._next_trace:06d}"
+            parent_id = None
+        else:
+            trace_id = parent.trace_id
+            parent_id = parent.span_id
+        self._next_span += 1
+        span = Span(trace_id, f"s{self._next_span:06d}", parent_id,
+                    name, kind, host, self.env.now)
+        if attrs:
+            span.attrs.update(attrs)
+        self.spans.append(span)
+        return span
+
+    def end_span(self, span: Span, status: str = "ok",
+                 error: Optional[str] = None) -> None:
+        if span.end is not None:
+            return
+        span.end = self.env.now
+        span.status = status
+        span.error = error
+
+    # -- queries -----------------------------------------------------------
+    def traces(self) -> dict[str, list[Span]]:
+        """Spans grouped by trace id, in creation order."""
+        out: dict[str, list[Span]] = {}
+        for span in self.spans:
+            out.setdefault(span.trace_id, []).append(span)
+        return out
+
+    def trace_is_connected(self, trace_id: str) -> bool:
+        """True when every non-root span's parent is in the same trace."""
+        spans = [s for s in self.spans if s.trace_id == trace_id]
+        ids = {s.span_id for s in spans}
+        return bool(spans) and all(
+            s.parent_id is None or s.parent_id in ids for s in spans
+        )
+
+
+class ContextStore:
+    """Trace context bound to simulation processes.
+
+    The kernel is single-threaded but interleaves many processes; a
+    global "current context" would leak across unrelated calls.  The
+    store keys contexts by :class:`~repro.sim.kernel.Process` instead
+    (weakly, so finished processes do not accumulate), and the lookup
+    asks the environment which process is executing right now.
+    """
+
+    def __init__(self) -> None:
+        self._by_proc: "weakref.WeakKeyDictionary[Any, TraceContext]" = (
+            weakref.WeakKeyDictionary())
+
+    def bind(self, process, ctx: Optional[TraceContext]
+             ) -> Optional[TraceContext]:
+        """Bind *ctx* to *process*; returns the previous binding."""
+        if process is None:
+            return None
+        prev = self._by_proc.get(process)
+        if ctx is None:
+            self._by_proc.pop(process, None)
+        else:
+            self._by_proc[process] = ctx
+        return prev
+
+    def current(self, env) -> Optional[TraceContext]:
+        """Context of the process executing right now, if any."""
+        proc = env.active_process
+        if proc is None:
+            return None
+        return self._by_proc.get(proc)

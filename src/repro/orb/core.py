@@ -231,6 +231,96 @@ def make_exception_class(name: str, tc: TypeCode) -> type[UserException]:
     return cls
 
 
+# -- request interceptors ------------------------------------------------------
+#
+# Portable-interceptor-style hook points around invocation.  The ORB
+# calls duck-typed interceptor objects; it does not depend on any
+# concrete implementation (repro.obs provides tracing/metrics ones).
+#
+# Client interceptors: ``send_request(info)`` in registration order
+# before the request hits the wire (may add service-context slots),
+# then exactly one of ``receive_reply(info)`` / ``receive_exception
+# (info)`` in reverse order once the invocation completes (reply,
+# user/system exception, timeout, crash — or immediately for oneways).
+#
+# Server interceptors: ``receive_request(info)`` in registration order
+# when a dispatch starts, ``finish_request(info)`` in reverse order
+# when it ends (whatever the outcome); the optional ``child_process
+# (info, proc)`` is called when the servant method is a generator that
+# the ORB drives as a nested simulation process.
+
+
+class ClientRequestInfo:
+    """Mutable view of one outgoing invocation, shared by client
+    interceptors across the send/complete hook pair."""
+
+    __slots__ = ("orb", "ior", "odef", "request_id", "oneway", "meter",
+                 "service_context", "request_bytes", "reply_bytes",
+                 "start", "end", "slots")
+
+    def __init__(self, orb: "ORB", ior: IOR, odef: OperationDef,
+                 request_id: int, meter: Optional[str],
+                 oneway: bool) -> None:
+        self.orb = orb
+        self.ior = ior
+        self.odef = odef
+        self.request_id = request_id
+        self.oneway = oneway
+        self.meter = meter
+        #: str -> str slots copied into the GIOP request service context.
+        self.service_context: dict[str, str] = {}
+        self.request_bytes = 0
+        self.reply_bytes = 0
+        self.start = orb.env.now
+        self.end: Optional[float] = None
+        #: scratch space for interceptors (e.g. the open span).
+        self.slots: dict[str, TAny] = {}
+
+    @property
+    def operation(self) -> str:
+        return self.odef.name
+
+    @property
+    def latency(self) -> float:
+        return (self.end if self.end is not None else self.orb.env.now) \
+            - self.start
+
+
+class ServerRequestInfo:
+    """Mutable view of one inbound dispatch, shared by server
+    interceptors across the receive/finish hook pair."""
+
+    __slots__ = ("orb", "request", "client", "process", "service_context",
+                 "request_bytes", "reply_bytes", "reply_status",
+                 "exception", "start", "end", "slots")
+
+    def __init__(self, orb: "ORB", request: "giop.RequestMessage",
+                 client: str, request_bytes: int) -> None:
+        self.orb = orb
+        self.request = request
+        self.client = client
+        #: the simulation process driving this dispatch.
+        self.process = None
+        self.service_context = dict(request.service_context)
+        self.request_bytes = request_bytes
+        self.reply_bytes = 0
+        #: GIOP reply status actually sent, or None (oneway / dropped).
+        self.reply_status: Optional[int] = None
+        self.exception: Optional[BaseException] = None
+        self.start = orb.env.now
+        self.end: Optional[float] = None
+        self.slots: dict[str, TAny] = {}
+
+    @property
+    def operation(self) -> str:
+        return self.request.operation
+
+    @property
+    def latency(self) -> float:
+        return (self.end if self.end is not None else self.orb.env.now) \
+            - self.start
+
+
 # -- stubs ---------------------------------------------------------------------
 
 class Stub:
@@ -275,12 +365,20 @@ class Stub:
 class ORB:
     """One Object Request Broker per simulated host."""
 
+    #: Reply deadline for response-expected calls made without an
+    #: explicit (or default) timeout.  A lost reply must not park its
+    #: pending-table entry forever; 60 simulated seconds is far beyond
+    #: any legitimate reply latency in these topologies.  Pass
+    #: ``reply_deadline=None`` to restore unbounded waiting.
+    REPLY_DEADLINE = 60.0
+
     def __init__(
         self,
         env: Environment,
         network: Network,
         host_id: str,
         default_timeout: Optional[float] = None,
+        reply_deadline: Optional[float] = REPLY_DEADLINE,
     ) -> None:
         self.env = env
         self.network = network
@@ -288,16 +386,40 @@ class ORB:
         self.host = network.topology.host(host_id)
         self.metrics = network.metrics
         self.default_timeout = default_timeout
+        self.reply_deadline = reply_deadline
         self._iface = network.interface(host_id)
         self._iface.bind("giop", self._on_message)
         self._adapters: dict[str, "POA"] = {}
         self._enc_pool: list[CDREncoder] = []
         self._next_request_id = 0
-        #: request_id -> (reply event, OperationDef)
-        self._pending: dict[int, tuple[Event, OperationDef]] = {}
+        #: request_id -> (reply event, OperationDef, ClientRequestInfo|None)
+        self._pending: dict[
+            int, tuple[Event, OperationDef, Optional[ClientRequestInfo]]
+        ] = {}
         #: called with cpu-seconds on every dispatch (resource accounting)
         self.dispatch_listeners: list[Callable[[float], None]] = []
+        #: called with the pending-table depth on every add/remove.
+        self.pending_watchers: list[Callable[[int], None]] = []
+        self._client_interceptors: list[TAny] = []
+        self._server_interceptors: list[TAny] = []
+        #: observability hub, set by repro.obs.Observability.install().
+        self.obs = None
         self.host.on_crash.append(self._on_host_crash)
+
+    # -- interceptors ------------------------------------------------------
+    def add_client_interceptor(self, interceptor: TAny) -> None:
+        """Register a client request interceptor (see module notes)."""
+        self._client_interceptors.append(interceptor)
+
+    def add_server_interceptor(self, interceptor: TAny) -> None:
+        """Register a server request interceptor (see module notes)."""
+        self._server_interceptors.append(interceptor)
+
+    def _watch_pending(self) -> None:
+        if self.pending_watchers:
+            depth = len(self._pending)
+            for watcher in self.pending_watchers:
+                watcher(depth)
 
     # -- adapters ----------------------------------------------------------
     def adapter(self, name: str) -> "POA":
@@ -328,6 +450,91 @@ class ORB:
         """Create a typed proxy for *ior* narrowed to *interface*."""
         return Stub(self, ior, interface)
 
+    def _marshal_args(self, odef: OperationDef, args: Sequence[TAny]) -> bytes:
+        codec = op_codec(odef)
+        if len(args) != len(codec.in_plans):
+            raise BAD_PARAM(
+                f"{odef.name} expects {len(codec.in_plans)} args, "
+                f"got {len(args)}"
+            )
+        enc = self._acquire_encoder()
+        codec.encode_in(enc, args)
+        args_bytes = enc.take()
+        self._release_encoder(enc)
+        return args_bytes
+
+    def _client_send_hooks(
+        self, ior: IOR, odef: OperationDef, request_id: int,
+        meter: Optional[str], oneway: bool,
+    ) -> tuple[Optional[ClientRequestInfo], tuple[tuple[str, str], ...]]:
+        """Run send_request interceptors; returns (info, service_context)."""
+        if not self._client_interceptors:
+            return None, ()
+        info = ClientRequestInfo(self, ior, odef, request_id, meter, oneway)
+        for icpt in self._client_interceptors:
+            icpt.send_request(info)
+        return info, tuple(sorted(info.service_context.items()))
+
+    def _finish_client(self, info: ClientRequestInfo, event: Event) -> None:
+        info.end = self.env.now
+        if event.ok:
+            for icpt in reversed(self._client_interceptors):
+                icpt.receive_reply(info)
+        else:
+            exc = event.value
+            for icpt in reversed(self._client_interceptors):
+                icpt.receive_exception(info, exc)
+
+    def send_oneway(
+        self,
+        ior: IOR,
+        odef: OperationDef,
+        args: Sequence[TAny],
+        meter: Optional[str] = None,
+    ) -> int:
+        """True fire-and-forget send of a oneway operation.
+
+        Marshals and ships the request with ``response_expected=False``
+        and *no* reply machinery: no kernel event is allocated and the
+        pending-reply table is never touched, so callers (periodic
+        reporters above all) cannot leak state no matter how many
+        reports they send or whether the peer is reachable.  Returns
+        the wire size in bytes.
+        """
+        if not odef.oneway:
+            raise BAD_PARAM(
+                f"{odef.name} expects a response; use invoke() instead"
+            )
+        args_bytes = self._marshal_args(odef, args)
+        self._next_request_id += 1
+        request_id = self._next_request_id
+        info, service_context = self._client_send_hooks(
+            ior, odef, request_id, meter, oneway=True)
+        request = giop.RequestMessage(
+            request_id=request_id,
+            response_expected=False,
+            host=ior.host_id,
+            adapter=ior.adapter,
+            object_key=ior.object_key,
+            operation=odef.name,
+            args=args_bytes,
+            service_context=service_context,
+        )
+        wire = request.encode()
+        self.metrics.counter("orb.requests").inc()
+        self.metrics.counter("orb.oneways").inc()
+        if meter is not None:
+            # Per-protocol bandwidth attribution (benchmarks rely on it).
+            self.metrics.counter(f"{meter}.msgs").inc()
+            self.metrics.counter(f"{meter}.bytes").inc(len(wire))
+        self.network.send(self.host_id, ior.host_id, "giop", wire, len(wire))
+        if info is not None:
+            info.request_bytes = len(wire)
+            info.end = self.env.now
+            for icpt in reversed(self._client_interceptors):
+                icpt.receive_reply(info)
+        return len(wire)
+
     def invoke(
         self,
         ior: IOR,
@@ -342,31 +549,32 @@ class ORB:
         ``(result, *out_values)`` when out/inout parameters exist
         (result omitted entirely when void and outs exist).
         ORB-level failures (timeout, unreachable peer) fail the event
-        with a pre-defused SystemException.
+        with a pre-defused SystemException.  Oneway operations are
+        delegated to :meth:`send_oneway` and complete immediately.
         """
+        if odef.oneway:
+            self.send_oneway(ior, odef, args, meter=meter)
+            reply_event = self.env.event()
+            reply_event.succeed(None)
+            return reply_event
+
         if timeout is None:
             timeout = self.default_timeout
-        codec = op_codec(odef)
-        if len(args) != len(codec.in_plans):
-            raise BAD_PARAM(
-                f"{odef.name} expects {len(codec.in_plans)} args, "
-                f"got {len(args)}"
-            )
-        enc = self._acquire_encoder()
-        codec.encode_in(enc, args)
-        args_bytes = enc.take()
-        self._release_encoder(enc)
+        args_bytes = self._marshal_args(odef, args)
 
         self._next_request_id += 1
         request_id = self._next_request_id
+        info, service_context = self._client_send_hooks(
+            ior, odef, request_id, meter, oneway=False)
         request = giop.RequestMessage(
             request_id=request_id,
-            response_expected=not odef.oneway,
+            response_expected=True,
             host=ior.host_id,
             adapter=ior.adapter,
             object_key=ior.object_key,
             operation=odef.name,
             args=args_bytes,
+            service_context=service_context,
         )
         wire = request.encode()
         self.metrics.counter("orb.requests").inc()
@@ -376,27 +584,34 @@ class ORB:
             self.metrics.counter(f"{meter}.bytes").inc(len(wire))
 
         reply_event = self.env.event()
-        if odef.oneway:
-            self.network.send(self.host_id, ior.host_id, "giop", wire, len(wire))
-            reply_event.succeed(None)
-            return reply_event
-
-        self._pending[request_id] = (reply_event, odef)
+        if info is not None:
+            info.request_bytes = len(wire)
+            # First callback, so interceptors observe completion before
+            # the waiting process resumes.
+            reply_event.callbacks.append(
+                lambda ev, i=info: self._finish_client(i, ev))
+        self._pending[request_id] = (reply_event, odef, info)
+        self._watch_pending()
         self.network.send(self.host_id, ior.host_id, "giop", wire, len(wire))
 
-        if timeout is not None:
+        # Even "no timeout" callers get a generous reply deadline:
+        # a reply lost to a crash or partition must not park the
+        # pending-table entry forever.
+        deadline = timeout if timeout is not None else self.reply_deadline
+        if deadline is not None:
             def expire(_ev, rid=request_id) -> None:
                 entry = self._pending.pop(rid, None)
                 if entry is None:
                     return  # already answered
-                event, _odef = entry
+                self._watch_pending()
+                event, _odef, _info = entry
                 self.metrics.counter("orb.timeouts").inc()
                 event.fail(TIMEOUT(
                     f"no reply to {odef.name} on {ior.host_id} "
-                    f"within {timeout}s"
+                    f"within {deadline}s"
                 )).defused()
 
-            self.env.timeout(timeout).callbacks.append(expire)
+            self.env.timeout(deadline).callbacks.append(expire)
         return reply_event
 
     def sync(self, event: Event):
@@ -419,13 +634,31 @@ class ORB:
             self.metrics.counter("orb.bad_messages").inc()
             return
         if isinstance(decoded, giop.RequestMessage):
-            self.env.process(self._dispatch(decoded, msg.src))
+            self.env.process(self._dispatch(decoded, msg.src,
+                                            len(msg.payload)))
         else:
-            self._complete(decoded)
+            self._complete(decoded, len(msg.payload))
 
     # -- server side -------------------------------------------------------------
-    def _dispatch(self, request: giop.RequestMessage, client: str):
+    def _dispatch(self, request: giop.RequestMessage, client: str,
+                  wire_size: int = 0):
         """Process one inbound request (runs as a simulation process)."""
+        info: Optional[ServerRequestInfo] = None
+        if self._server_interceptors:
+            info = ServerRequestInfo(self, request, client, wire_size)
+            info.process = self.env.active_process
+            for icpt in self._server_interceptors:
+                icpt.receive_request(info)
+        try:
+            yield from self._dispatch_body(request, client, info)
+        finally:
+            if info is not None:
+                info.end = self.env.now
+                for icpt in reversed(self._server_interceptors):
+                    icpt.finish_request(info)
+
+    def _dispatch_body(self, request: giop.RequestMessage, client: str,
+                       info: Optional[ServerRequestInfo]):
         odef: Optional[OperationDef] = None
         try:
             poa = self._adapters.get(request.adapter)
@@ -456,26 +689,34 @@ class ORB:
             result = method(*args)
             if hasattr(result, "send") and hasattr(result, "throw"):
                 # Servant method is a generator: drive it to completion.
-                result = yield self.env.process(result)
+                proc = self.env.process(result)
+                if info is not None:
+                    for icpt in self._server_interceptors:
+                        hook = getattr(icpt, "child_process", None)
+                        if hook is not None:
+                            hook(info, proc)
+                result = yield proc
 
             self.metrics.counter("orb.dispatches").inc()
             if not request.response_expected:
                 return
             body = self._encode_result(odef, result)
-            self._reply(client, request, giop.NO_EXCEPTION, body)
+            self._reply(client, request, giop.NO_EXCEPTION, body, info)
         except UserException as exc:
+            if info is not None:
+                info.exception = exc
             if not request.response_expected or odef is None:
                 return
             if not any(tc.repo_id == exc.REPO_ID for tc in odef.raises):
                 self._reply_system(client, request, UNKNOWN(
                     f"undeclared user exception {exc.REPO_ID}"
-                ))
+                ), info)
                 return
             entry = exception_class(exc.REPO_ID)
             if entry is None:
                 self._reply_system(client, request, UNKNOWN(
                     f"unregistered exception {exc.REPO_ID}"
-                ))
+                ), info)
                 return
             _cls, tc = entry
             enc = self._acquire_encoder()
@@ -483,14 +724,18 @@ class ORB:
             get_plan(tc).encode(enc, dict(zip(exc.FIELDS, exc.field_values())))
             body = enc.take()
             self._release_encoder(enc)
-            self._reply(client, request, giop.USER_EXCEPTION, body)
+            self._reply(client, request, giop.USER_EXCEPTION, body, info)
         except SystemException as exc:
+            if info is not None:
+                info.exception = exc
             if request.response_expected:
-                self._reply_system(client, request, exc)
+                self._reply_system(client, request, exc, info)
         except Exception as exc:  # servant bug -> UNKNOWN, as CORBA mandates
             self.metrics.counter("orb.servant_errors").inc()
+            if info is not None:
+                info.exception = exc
             if request.response_expected:
-                self._reply_system(client, request, UNKNOWN(repr(exc)))
+                self._reply_system(client, request, UNKNOWN(repr(exc)), info)
 
     def _encode_result(self, odef: OperationDef, result) -> bytes:
         codec = op_codec(odef)
@@ -523,14 +768,19 @@ class ORB:
         return body
 
     def _reply(self, client: str, request: giop.RequestMessage,
-               status: int, body: bytes) -> None:
+               status: int, body: bytes,
+               info: Optional[ServerRequestInfo] = None) -> None:
         reply = giop.ReplyMessage(request.request_id, status, body)
         wire = reply.encode()
         self.metrics.counter("orb.replies").inc()
+        if info is not None:
+            info.reply_status = status
+            info.reply_bytes = len(wire)
         self.network.send(self.host_id, client, "giop", wire, len(wire))
 
     def _reply_system(self, client: str, request: giop.RequestMessage,
-                      exc: SystemException) -> None:
+                      exc: SystemException,
+                      info: Optional[ServerRequestInfo] = None) -> None:
         enc = self._acquire_encoder()
         enc.write_string(exc.repo_id)
         enc.write_string(exc.reason or "")
@@ -538,15 +788,18 @@ class ORB:
         enc.write_ulong(exc.completed)
         body = enc.take()
         self._release_encoder(enc)
-        self._reply(client, request, giop.SYSTEM_EXCEPTION, body)
+        self._reply(client, request, giop.SYSTEM_EXCEPTION, body, info)
 
     # -- client-side completion ---------------------------------------------------
-    def _complete(self, reply: giop.ReplyMessage) -> None:
+    def _complete(self, reply: giop.ReplyMessage, wire_size: int = 0) -> None:
         entry = self._pending.pop(reply.request_id, None)
         if entry is None:
             self.metrics.counter("orb.late_replies").inc()
             return
-        event, odef = entry
+        self._watch_pending()
+        event, odef, info = entry
+        if info is not None:
+            info.reply_bytes = wire_size
         try:
             if reply.status == giop.NO_EXCEPTION:
                 event.succeed(self._decode_result(odef, reply.body))
@@ -589,6 +842,8 @@ class ORB:
     def _on_host_crash(self, _host) -> None:
         """Fail every outstanding client request; the host is gone."""
         pending, self._pending = self._pending, {}
-        for event, _odef in pending.values():
+        if pending:
+            self._watch_pending()
+        for event, _odef, _info in pending.values():
             if not event.triggered:
                 event.fail(COMM_FAILURE("host crashed")).defused()

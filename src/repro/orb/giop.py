@@ -9,8 +9,13 @@ Message grammar (all CDR, big-endian):
     message   := octet msg_type, body
     request   := ulong request_id, boolean response_expected,
                  string host, string adapter, string object_key,
-                 string operation, octetseq args
+                 string operation, octetseq args, service_context
     reply     := ulong request_id, ulong status, octetseq body
+    service_context := ulong count, { string key, string value }*
+
+The service context is a small, ordered set of string key/value slots
+carried with every request — the GIOP mechanism interceptors use to
+propagate out-of-band state (trace/span ids) along a call chain.
 
 Reply status is one of NO_EXCEPTION / USER_EXCEPTION / SYSTEM_EXCEPTION;
 user exception bodies carry ``string repo_id`` then the members, system
@@ -73,6 +78,8 @@ class RequestMessage:
     object_key: str
     operation: str
     args: bytes  # CDR encapsulation of in/inout parameters
+    #: interceptor-propagated (key, value) slots, e.g. trace context.
+    service_context: tuple[tuple[str, str], ...] = ()
 
     def encode(self) -> bytes:
         try:
@@ -86,6 +93,13 @@ class RequestMessage:
         _append_string(buf, self.object_key)
         _append_string(buf, self.operation)
         _append_octetseq(buf, self.args)
+        pad = (-len(buf)) & 3
+        if pad:
+            buf += b"\x00" * pad
+        buf += _ULONG.pack(len(self.service_context))
+        for key, value in self.service_context:
+            _append_string(buf, key)
+            _append_string(buf, value)
         return bytes(buf)
 
 
@@ -117,14 +131,26 @@ def decode_message(data: bytes) -> "RequestMessage | ReplyMessage":
     dec = CDRDecoder(data)
     msg_type = dec.read_octet()
     if msg_type == MSG_REQUEST:
+        request_id = dec.read_ulong()
+        response_expected = dec.read_boolean()
+        host = dec.read_string()
+        adapter = dec.read_string()
+        object_key = dec.read_string()
+        operation = dec.read_string()
+        args = dec.read_octet_sequence()
+        n_slots = dec.read_ulong()
+        service_context = tuple(
+            (dec.read_string(), dec.read_string()) for _ in range(n_slots)
+        )
         return RequestMessage(
-            request_id=dec.read_ulong(),
-            response_expected=dec.read_boolean(),
-            host=dec.read_string(),
-            adapter=dec.read_string(),
-            object_key=dec.read_string(),
-            operation=dec.read_string(),
-            args=dec.read_octet_sequence(),
+            request_id=request_id,
+            response_expected=response_expected,
+            host=host,
+            adapter=adapter,
+            object_key=object_key,
+            operation=operation,
+            args=args,
+            service_context=service_context,
         )
     if msg_type == MSG_REPLY:
         return ReplyMessage(

@@ -2,7 +2,15 @@
 
 CORBA's TRANSIENT/TIMEOUT semantics say "retrying may succeed"; this
 module packages the standard client loop (bounded attempts, exponential
-backoff) so protocol code and applications don't hand-roll it.
+backoff with full jitter, an optional total deadline) so protocol code
+and applications don't hand-roll it.
+
+Jitter draws from the simulation's seeded RNG registry — never from
+``random`` — so retry schedules are de-synchronized across the fleet
+yet identical across runs of the same seed.  When an observability hub
+is installed on the ORB, the whole retry loop becomes one ``retry:``
+span whose per-attempt client spans (including the failed ones) parent
+under it.
 """
 
 from __future__ import annotations
@@ -23,23 +31,53 @@ from repro.orb.ior import IOR
 #: user exceptions...) is a real answer and propagates immediately.
 RETRYABLE = (TRANSIENT, TIMEOUT, COMM_FAILURE)
 
+#: Named RNG stream the jittered backoff draws from.
+JITTER_STREAM = "orb.retry.jitter"
+
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """How persistently to retry a remote call."""
+    """How persistently to retry a remote call.
+
+    ``deadline`` caps the *total* simulated time the loop may consume
+    (attempt timeouts are clipped to the remaining budget); without it,
+    ``attempts × (timeout + backoff)`` silently decides the caller's
+    worst case.  ``jitter`` turns each backoff into a uniform draw from
+    ``[0, scheduled_backoff]`` ("full jitter"), preventing a fleet that
+    failed together from retrying together.
+    """
 
     attempts: int = 3
     timeout: float = 2.0          # per attempt
     backoff: float = 0.5          # sleep before retry #1
     backoff_factor: float = 2.0   # multiplied per further retry
+    deadline: Optional[float] = None  # total budget across all attempts
+    jitter: bool = True
 
     def __post_init__(self) -> None:
         if self.attempts < 1:
             raise ValueError("need at least one attempt")
+        if self.timeout <= 0:
+            raise ValueError(f"per-attempt timeout must be > 0, "
+                             f"got {self.timeout}")
+        if self.backoff <= 0:
+            raise ValueError(f"backoff must be > 0, got {self.backoff}")
+        if self.backoff_factor <= 0:
+            raise ValueError(f"backoff_factor must be > 0, "
+                             f"got {self.backoff_factor}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {self.deadline}")
 
-    def delay_before(self, retry_index: int) -> float:
-        """Backoff before the given retry (retry_index >= 1)."""
-        return self.backoff * (self.backoff_factor ** (retry_index - 1))
+    def delay_before(self, retry_index: int, rng=None) -> float:
+        """Backoff before the given retry (retry_index >= 1).
+
+        Deterministic schedule when *rng* is None; full jitter —
+        ``uniform(0, scheduled)`` drawn from *rng* — otherwise.
+        """
+        scheduled = self.backoff * (self.backoff_factor ** (retry_index - 1))
+        if rng is None:
+            return scheduled
+        return float(rng.uniform(0.0, scheduled))
 
 
 def invoke_with_retry(orb: ORB, ior: IOR, odef: OperationDef,
@@ -52,24 +90,80 @@ def invoke_with_retry(orb: ORB, ior: IOR, odef: OperationDef,
 
         result = yield from invoke_with_retry(orb, ior, odef, args)
 
-    Raises the last retryable exception once attempts are exhausted.
+    Raises the last retryable exception once attempts (or the policy
+    deadline) are exhausted.
     """
     policy = policy or RetryPolicy()
+    env = orb.env
+    rng = (orb.network.rngs.stream(JITTER_STREAM) if policy.jitter
+           else None)
+    start = env.now
+
+    # Open a retry span so every attempt (and the server work it causes)
+    # lands in one causally-linked trace.
+    hub = orb.obs
+    span = None
+    prev_ctx = None
+    bound_proc = None
+    if hub is not None:
+        span = hub.tracer.start_span(
+            f"retry:{odef.name}", kind="internal",
+            parent=hub.context.current(env), host=orb.host_id,
+            attrs={"max_attempts": policy.attempts, "peer": ior.host_id})
+        bound_proc = env.active_process
+        prev_ctx = hub.context.bind(bound_proc, span.context)
+
     last_exc: Optional[SystemException] = None
-    for attempt in range(policy.attempts):
-        if attempt > 0:
-            orb.metrics.counter("orb.retries").inc()
-            yield orb.env.timeout(policy.delay_before(attempt))
-        try:
-            result = yield orb.invoke(ior, odef, args,
-                                      timeout=policy.timeout,
-                                      meter=meter)
-            return result
-        except RETRYABLE as exc:
-            last_exc = exc
-            continue
-    assert last_exc is not None
-    raise last_exc
+    attempts_made = 0
+    try:
+        for attempt in range(policy.attempts):
+            remaining = (None if policy.deadline is None
+                         else policy.deadline - (env.now - start))
+            if attempt > 0:
+                delay = policy.delay_before(attempt, rng=rng)
+                if remaining is not None and delay >= remaining:
+                    break  # sleeping would blow the budget; give up now
+                orb.metrics.counter("orb.retries").inc()
+                orb.metrics.counter(f"orb.retries.{odef.name}").inc()
+                yield env.timeout(delay)
+                if remaining is not None:
+                    remaining = policy.deadline - (env.now - start)
+            attempt_timeout = policy.timeout
+            if remaining is not None:
+                if remaining <= 0:
+                    break
+                attempt_timeout = min(attempt_timeout, remaining)
+            attempts_made += 1
+            try:
+                result = yield orb.invoke(ior, odef, args,
+                                          timeout=attempt_timeout,
+                                          meter=meter)
+                if span is not None:
+                    span.attrs["attempts"] = attempts_made
+                    hub.tracer.end_span(span, status="ok")
+                return result
+            except RETRYABLE as exc:
+                last_exc = exc
+                continue
+        if last_exc is None:
+            last_exc = TIMEOUT(
+                f"retry deadline {policy.deadline}s exhausted before "
+                f"any attempt of {odef.name} could run"
+            )
+        raise last_exc
+    except BaseException as exc:
+        if span is not None:
+            span.attrs["attempts"] = attempts_made
+            hub.tracer.end_span(span, status="error",
+                                error=getattr(exc, "repo_id", None)
+                                or type(exc).__name__)
+        raise
+    finally:
+        if hub is not None:
+            hub.context.bind(bound_proc, prev_ctx)
+            if span is not None and not span.finished:
+                span.attrs["attempts"] = attempts_made
+                hub.tracer.end_span(span, status="ok")
 
 
 def call_with_retry(orb: ORB, ior: IOR, odef: OperationDef,

@@ -187,9 +187,9 @@ class MrmAgent:
                 yield self.env.timeout(self.config.update_interval)
                 agg = self.build_aggregate()
                 for parent in self.parent_iors:
-                    self.node.orb.invoke(parent, report_op,
-                                         (agg.to_value(),),
-                                         meter="registry.hier")
+                    self.node.orb.send_oneway(parent, report_op,
+                                              (agg.to_value(),),
+                                              meter="registry.hier")
         except Interrupt:
             return
 

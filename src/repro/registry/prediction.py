@@ -112,9 +112,9 @@ class PredictiveReporter:
     def _send(self, view: NodeView, slope: float) -> None:
         value = view.to_value()
         for mrm in self.mrm_iors:
-            self.node.orb.invoke(mrm, _REPORT_MODEL,
-                                 (self.node.host_id, value, slope),
-                                 meter=self.meter)
+            self.node.orb.send_oneway(mrm, _REPORT_MODEL,
+                                      (self.node.host_id, value, slope),
+                                      meter=self.meter)
         self.reports_sent += 1
         self._sent_value = view.snapshot.cpu_available
         self._sent_slope = slope

@@ -51,19 +51,28 @@ class SoftStateReporter:
         self._proc = None
 
     def _on_restart(self, _host) -> None:
-        # A reconnecting node resumes reporting immediately: the paper
-        # requires graceful re-connections, and the first report after
-        # restart re-registers it with the MRM.
+        # A reconnecting node must re-register with the MRM *now*, not
+        # one phase offset later: the paper requires graceful
+        # re-connections, and until the first report lands the MRM still
+        # believes the node is down.  Report immediately, then resume
+        # the periodic loop.
+        self.send_now()
         self._start()
 
     def send_now(self) -> None:
-        """One immediate report (used on startup and reconnection)."""
+        """One immediate report (used on startup and reconnection).
+
+        Reports are true fire-and-forget: sent with
+        ``response_expected=False`` and no pending-reply entry, so a
+        reporter never accumulates client-side state no matter how many
+        reports it sends to how many dead replicas.
+        """
         view = NodeView.collect(self.node).to_value()
         report_op = MRM_IFACE.operations["report"]
         for mrm in self.mrm_iors:
-            self.node.orb.invoke(mrm, report_op,
-                                 (self.node.host_id, view),
-                                 meter=self.meter)
+            self.node.orb.send_oneway(mrm, report_op,
+                                      (self.node.host_id, view),
+                                      meter=self.meter)
         self.reports_sent += 1
 
     def _loop(self):

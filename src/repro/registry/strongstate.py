@@ -70,9 +70,9 @@ class StrongStateReporter:
         view = NodeView.collect(self.node).to_value()
         for mrm in self.mrm_iors:
             for attempt in range(1 + self.retries):
-                self.node.orb.invoke(mrm, _REPORT,
-                                     (self.node.host_id, view),
-                                     meter=self.meter)
+                self.node.orb.send_oneway(mrm, _REPORT,
+                                          (self.node.host_id, view),
+                                          meter=self.meter)
                 self.reports_sent += 1
                 try:
                     yield self.node.orb.invoke(
@@ -89,9 +89,9 @@ class StrongStateReporter:
                 yield self.node.env.timeout(self.heartbeat)
                 view = NodeView.collect(self.node).to_value()
                 for mrm in self.mrm_iors:
-                    self.node.orb.invoke(mrm, _REPORT,
-                                         (self.node.host_id, view),
-                                         meter=self.meter)
+                    self.node.orb.send_oneway(mrm, _REPORT,
+                                              (self.node.host_id, view),
+                                              meter=self.meter)
                 self.reports_sent += 1
         except Interrupt:
             return

@@ -215,6 +215,15 @@ class SimRig:
                           default_timeout=default_timeout)
             for host_id in topology.host_ids()
         }
+        self.obs = None
+
+    def observe(self):
+        """Instrument every node's ORB; returns the Observability hub."""
+        if self.obs is None:
+            from repro.obs import Observability
+            self.obs = Observability(self.env, self.metrics)
+            self.obs.install_fleet(self.nodes)
+        return self.obs
 
     def node(self, host_id: str) -> Node:
         return self.nodes[host_id]

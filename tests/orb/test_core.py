@@ -119,6 +119,35 @@ class TestInvocation:
         env.run()
         assert servant.fired == ["t1"]
 
+    def test_send_oneway_is_fire_and_forget(self, rig):
+        env, net, server, client, servant, ior, stub = rig
+        wire_len = client.send_oneway(ior, ECHO.operations["fire"],
+                                      ("t1",))
+        assert wire_len > 0
+        assert client._pending == {}  # no reply expected, ever
+        env.run()
+        assert servant.fired == ["t1"]
+        assert client._pending == {}
+        assert client.metrics.get("orb.oneways") == 1
+
+    def test_send_oneway_rejects_twoway_operations(self, rig):
+        env, net, server, client, servant, ior, stub = rig
+        with pytest.raises(BAD_PARAM):
+            client.send_oneway(ior, ECHO.operations["echo"], ("x",))
+
+    def test_untimed_invoke_reaped_by_reply_deadline(self, rig):
+        env, net, server, client, servant, ior, stub = rig
+        client.reply_deadline = 4.0
+        net.topology.set_host_state("hub", alive=False)
+
+        def proc():
+            with pytest.raises(TIMEOUT):
+                yield client.invoke(ior, ECHO.operations["echo"], ("x",))
+
+        env.run(until=env.process(proc()))
+        assert env.now == pytest.approx(4.0)
+        assert client._pending == {}
+
     def test_wrong_arg_count_rejected_client_side(self, rig):
         env, net, server, client, servant, ior, stub = rig
         with pytest.raises(BAD_PARAM):

@@ -133,6 +133,21 @@ class TestGIOP:
         got = giop.decode_message(req.encode())
         assert got == req
 
+    def test_request_roundtrip_with_service_context(self):
+        req = giop.RequestMessage(
+            9, True, "h", "root", "obj-1", "ping", b"\x01\x02",
+            service_context=(("trace-id", "t000001"),
+                             ("span-id", "s000042")))
+        got = giop.decode_message(req.encode())
+        assert got == req
+        assert dict(got.service_context)["trace-id"] == "t000001"
+
+    def test_service_context_defaults_empty(self):
+        req = giop.RequestMessage(7, True, "h", "root", "obj-1", "ping",
+                                  b"")
+        assert req.service_context == ()
+        assert giop.decode_message(req.encode()).service_context == ()
+
     def test_reply_roundtrip(self):
         rep = giop.ReplyMessage(7, giop.USER_EXCEPTION, b"payload")
         got = giop.decode_message(rep.encode())

@@ -56,11 +56,33 @@ class TestRetryPolicy:
         with pytest.raises(ValueError):
             RetryPolicy(attempts=0)
 
+    @pytest.mark.parametrize("kwargs", [
+        {"timeout": 0.0}, {"timeout": -1.0},
+        {"backoff": 0.0}, {"backoff": -0.5},
+        {"backoff_factor": 0.0}, {"backoff_factor": -2.0},
+        {"deadline": 0.0}, {"deadline": -10.0},
+    ])
+    def test_rejects_non_positive_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
     def test_backoff_schedule(self):
         p = RetryPolicy(backoff=0.5, backoff_factor=2.0)
         assert p.delay_before(1) == 0.5
         assert p.delay_before(2) == 1.0
         assert p.delay_before(3) == 2.0
+
+    def test_jittered_backoff_bounded_and_seeded(self):
+        from repro.sim.rng import RngRegistry
+        p = RetryPolicy(backoff=0.5, backoff_factor=2.0)
+        draws = [p.delay_before(i, rng=RngRegistry(9).stream("j"))
+                 for i in (1, 2, 3)]
+        for i, d in enumerate(draws, start=1):
+            assert 0.0 <= d <= p.delay_before(i)
+        # same seed, same stream name -> identical jitter
+        again = [p.delay_before(i, rng=RngRegistry(9).stream("j"))
+                 for i in (1, 2, 3)]
+        assert draws == again
 
 
 class TestRetries:
@@ -106,7 +128,8 @@ class TestRetries:
         with pytest.raises(TIMEOUT):
             call_with_retry(
                 client, ior, FLAKY.operations["get"], (),
-                policy=RetryPolicy(attempts=3, timeout=1.0, backoff=0.5))
+                policy=RetryPolicy(attempts=3, timeout=1.0, backoff=0.5,
+                                   jitter=False))
         # 3 timeouts + backoffs 0.5 + 1.0
         assert env.now - t0 == pytest.approx(3 * 1.0 + 0.5 + 1.0)
 
@@ -119,6 +142,46 @@ class TestRetries:
                             policy=RetryPolicy(attempts=5, timeout=1.0))
         # only one attempt was made
         assert client.metrics.get("orb.retries") == 0
+
+    def test_deadline_caps_total_retry_time(self):
+        env, client, servant, ior = make_rig()
+        client.network.topology.set_host_state("a", alive=False)
+        t0 = env.now
+        with pytest.raises(TIMEOUT):
+            call_with_retry(
+                client, ior, FLAKY.operations["get"], (),
+                policy=RetryPolicy(attempts=5, timeout=1.0, backoff=0.5,
+                                   deadline=2.5, jitter=False))
+        # attempt 1 (1.0) + backoff (0.5) + attempt 2 capped to the
+        # remaining 1.0 = 2.5; attempts 3..5 never run
+        assert env.now - t0 == pytest.approx(2.5)
+
+    def test_deadline_skips_backoff_that_would_overrun(self):
+        env, client, servant, ior = make_rig()
+        client.network.topology.set_host_state("a", alive=False)
+        t0 = env.now
+        with pytest.raises(TIMEOUT):
+            call_with_retry(
+                client, ior, FLAKY.operations["get"], (),
+                policy=RetryPolicy(attempts=5, timeout=1.0, backoff=5.0,
+                                   deadline=3.0, jitter=False))
+        # one 1.0s attempt; the 5.0s backoff would blow the 3.0s budget
+        assert env.now - t0 == pytest.approx(1.0)
+
+    def test_jittered_retries_are_deterministic_per_seed(self):
+        def elapsed():
+            env, client, servant, ior = make_rig()
+            servant.failures_left = 2
+            t0 = env.now
+            call_with_retry(
+                client, ior, FLAKY.operations["fail_n"], (0,),
+                policy=RetryPolicy(attempts=4, timeout=1.0, backoff=0.4))
+            return env.now - t0
+
+        first, second = elapsed(), elapsed()
+        assert first == second  # same seed -> same jitter draws
+        # jitter is full: total sleep strictly below the fixed schedule
+        assert first < 0.4 + 0.8 + 2 * 0.01
 
     def test_usable_inside_processes(self):
         env, client, servant, ior = make_rig()

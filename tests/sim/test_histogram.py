@@ -1,0 +1,100 @@
+"""Log-scale-bucket histogram: edges, percentiles, registry plumbing."""
+
+import pytest
+
+from repro.sim.stats import Histogram, MetricRegistry
+
+
+class TestBuckets:
+    def test_geometric_edges(self):
+        h = Histogram("h", lo=1.0, growth=2.0, buckets=4)
+        assert h.edges == [1.0, 2.0, 4.0, 8.0]
+        assert len(h.counts) == 5  # + overflow
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Histogram("h", lo=0.0)
+        with pytest.raises(ValueError):
+            Histogram("h", growth=1.0)
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=0)
+
+    def test_values_land_in_half_open_buckets(self):
+        # bucket i covers (edge[i-1], edge[i]]
+        h = Histogram("h", lo=1.0, growth=2.0, buckets=4)
+        h.record(1.0)   # at lo -> bucket 0
+        h.record(2.0)   # at an edge -> that edge's bucket
+        h.record(2.001)  # just above -> next bucket
+        h.record(8.0)   # top edge -> last real bucket
+        h.record(9.0)   # above top edge -> overflow
+        h.record(0.1)   # below lo -> bucket 0
+        assert h.counts == [2, 1, 1, 1, 1]
+        assert h.count == 6
+
+    def test_min_max_mean_track_raw_values(self):
+        h = Histogram("h", lo=1.0, buckets=8)
+        for v in (0.5, 3.0, 100.0):
+            h.record(v)
+        assert h.min() == 0.5
+        assert h.max() == 100.0
+        assert h.mean() == pytest.approx((0.5 + 3.0 + 100.0) / 3)
+
+
+class TestPercentiles:
+    def test_empty_is_nan(self):
+        h = Histogram("h")
+        assert h.percentile(50) != h.percentile(50)  # NaN
+
+    def test_range_checked(self):
+        h = Histogram("h")
+        h.record(1.0)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+
+    def test_single_value_all_percentiles_equal(self):
+        h = Histogram("h", lo=1e-3)
+        h.record(0.25)
+        for q in (0, 50, 95, 99, 100):
+            assert h.percentile(q) == pytest.approx(0.25)
+
+    def test_monotone_and_clamped(self):
+        h = Histogram("h", lo=1e-3, buckets=24)
+        for i in range(1, 200):
+            h.record(i * 0.01)
+        last = 0.0
+        for q in (1, 10, 25, 50, 75, 90, 95, 99, 100):
+            p = h.percentile(q)
+            assert p >= last
+            assert h.min() <= p <= h.max()
+            last = p
+
+    def test_accuracy_within_one_bucket(self):
+        h = Histogram("h", lo=1e-3, growth=2.0, buckets=24)
+        values = [0.001 * (1.1 ** i) for i in range(100)]
+        for v in values:
+            h.record(v)
+        exact = sorted(values)[49]
+        estimate = h.percentile(50)
+        # estimate must be within one growth factor of the true median
+        assert exact / 2.0 <= estimate <= exact * 2.0
+
+
+class TestRegistry:
+    def test_created_once_and_found(self):
+        m = MetricRegistry()
+        h1 = m.histogram("lat", lo=0.5)
+        h2 = m.histogram("lat", lo=99.0)  # shape ignored on reuse
+        assert h1 is h2
+        assert h1.edges[0] == 0.5
+        assert m.find_histogram("lat") is h1
+        assert m.find_histogram("nope") is None
+        assert "lat" in set(m.names())
+
+    def test_snapshot_includes_percentiles(self):
+        m = MetricRegistry()
+        h = m.histogram("lat")
+        for v in (0.1, 0.2, 0.3):
+            h.record(v)
+        snap = m.snapshot()
+        assert snap["lat.count"] == 3.0
+        assert snap["lat.p50"] <= snap["lat.p95"] <= snap["lat.p99"]
