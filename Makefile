@@ -1,17 +1,22 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test selftest bench
+.PHONY: check test selftest bench faults
 
-# The one-stop gate: observability end-to-end selftest, then the full
-# tier-1 unit/integration suite.
+# The one-stop gate: observability + availability end-to-end selftests,
+# then the full tier-1 unit/integration suite.
 check: selftest test
 
 selftest:
 	$(PYTHON) -m repro.tools.obs_report --selftest
+	$(PYTHON) benchmarks/bench_availability.py --selftest
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# fault-injection / churn integration tests only
+faults:
+	$(PYTHON) -m pytest -m faults -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

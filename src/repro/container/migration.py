@@ -70,14 +70,24 @@ class MigrationEngine:
         state = instance.executor.get_state()
         wiring = _capture_wiring(instance)
 
-        # 2. Ensure the binary exists at the target.
+        # 2. Ensure the binary exists at the target.  A target crash in
+        # this window must not strand the instance passivated on the
+        # source: reactivate it locally and refuse the migration.
         exact = f"=={cls.version}"
         acceptor = node.service_stub(target_host, "acceptor")
-        installed = yield acceptor.is_installed(cls.name, exact)
-        if not installed:
-            pkg = node.repository.package_bytes(cls.name)
-            node.metrics.counter("migration.package_bytes").inc(len(pkg))
-            yield acceptor.install(pkg)
+        try:
+            installed = yield acceptor.is_installed(cls.name, exact)
+            if not installed:
+                pkg = node.repository.package_bytes(cls.name)
+                node.metrics.counter("migration.package_bytes").inc(len(pkg))
+                yield acceptor.install(pkg)
+        except SystemException as exc:
+            instance.executor.activate()
+            instance.state = InstanceState.ACTIVE
+            node.metrics.counter("migration.rollbacks").inc()
+            raise MigrationError(
+                f"target {target_host} unreachable before eviction: {exc}"
+            ) from exc
 
         # 3. Evict the local shell.
         container._evict(instance)

@@ -31,6 +31,11 @@ class ReplicaMember:
     host: str
     instance_id: str
     facet_ior: Optional[IOR]
+    #: Promotion epoch whose state this member is known to carry: the
+    #: group's epoch when the member was last primary or last received
+    #: a sync from the primary.  A member that crashed and came back
+    #: keeps its old stamp, which is what fences it out.
+    epoch: int = 0
 
 
 @dataclass
@@ -41,6 +46,10 @@ class ReplicaGroup:
     facet_repo_id: str
     mode: str                       # "stateless" | "coordinated"
     members: list[ReplicaMember] = field(default_factory=list)
+    #: Monotonic fencing number, bumped on every primary promotion.
+    epoch: int = 0
+    #: instance_id of the current fenced primary (coordinated mode).
+    primary_id: Optional[str] = None
     _rr: int = 0
 
     def alive_members(self, topology) -> list[ReplicaMember]:
@@ -57,21 +66,60 @@ class ReplicaGroup:
         return alive[0]
 
     def select_round_robin(self, topology) -> ReplicaMember:
-        """Load-spreading selection for stateless groups."""
-        alive = self.alive_members(topology)
-        if not alive:
-            raise ReplicationError(
-                f"no live replicas of {self.component}"
-            )
-        member = alive[self._rr % len(alive)]
-        self._rr += 1
-        return member
+        """Load-spreading selection for stateless groups.
+
+        The cursor walks *positions in the full member list* and skips
+        dead members, so each member keeps a stable slot in the
+        rotation: a crash or restart elsewhere in the group never
+        skews which member the cursor lands on next.
+        """
+        if not self.members:
+            raise ReplicationError(f"no replicas of {self.component}")
+        n = len(self.members)
+        for offset in range(n):
+            member = self.members[(self._rr + offset) % n]
+            if topology.host(member.host).alive:
+                self._rr = (self._rr + offset + 1) % n
+                return member
+        raise ReplicationError(
+            f"no live replicas of {self.component}"
+        )
 
     @property
     def primary(self) -> ReplicaMember:
         if not self.members:
             raise ReplicationError("empty replica group")
+        for member in self.members:
+            if member.instance_id == self.primary_id:
+                return member
         return self.members[0]
+
+    def promote(self, member: ReplicaMember) -> None:
+        """Make *member* the fenced primary under a fresh epoch."""
+        self.epoch += 1
+        member.epoch = self.epoch
+        self.primary_id = member.instance_id
+
+    def select_primary(self, topology) -> ReplicaMember:
+        """The fenced primary for a coordinated sync.
+
+        The recorded primary wins while it is alive.  When it is dead
+        (or nothing was ever recorded) the live member carrying the
+        highest epoch is promoted — never merely the first member that
+        happens to be alive, so a restarted ex-primary with a stale
+        epoch cannot reclaim the role and push old state.
+        """
+        alive = self.alive_members(topology)
+        if not alive:
+            raise ReplicationError(
+                f"no live replicas of {self.component}"
+            )
+        for member in alive:
+            if member.instance_id == self.primary_id:
+                return member
+        best = max(alive, key=lambda m: m.epoch)
+        self.promote(best)
+        return best
 
 
 class ReplicaManager:
@@ -132,6 +180,8 @@ class ReplicaManager:
             group.members.append(ReplicaMember(
                 host=host, instance_id=info.instance_id,
                 facet_ior=facet_ior))
+        if group.members:
+            group.primary_id = group.members[0].instance_id
         node.metrics.counter("replication.groups").inc()
         return group
 
@@ -146,7 +196,10 @@ class ReplicaManager:
                 "to coordinated replication"
             )
         node = self.node
-        primary = group.select(node.network.topology)
+        epoch_before = group.epoch
+        primary = group.select_primary(node.network.topology)
+        if group.epoch != epoch_before:
+            node.metrics.counter("replication.promotions").inc()
         agent = node.service_stub(primary.host, "container")
         state = yield agent.get_state(primary.instance_id)
         synced = 0
@@ -158,6 +211,9 @@ class ReplicaManager:
             backup = node.service_stub(member.host, "container")
             try:
                 yield backup.set_state(member.instance_id, state)
+                # The backup now carries the primary's state generation,
+                # so it is a legitimate promotion candidate at this epoch.
+                member.epoch = group.epoch
                 synced += 1
             except SystemException:
                 continue  # unreachable backup; next sync will catch up

@@ -14,6 +14,9 @@ load of either the nodes or the network."
   and re-wiring after migrations.
 - :mod:`repro.deployment.loadbalancer` — the run-time scheduling loop
   that migrates instances off overloaded hosts.
+- :mod:`repro.deployment.supervisor` — the self-healing loop that
+  re-incarnates instances stranded by host crashes, promotes replica
+  primaries under fencing epochs, and sweeps teardown orphans.
 """
 
 from repro.deployment.planner import (
@@ -25,6 +28,10 @@ from repro.deployment.planner import (
 )
 from repro.deployment.application import Application, Deployer
 from repro.deployment.loadbalancer import LoadBalancer
+from repro.deployment.supervisor import (
+    ApplicationSupervisor,
+    RecoveryRecord,
+)
 
 __all__ = [
     "PlannerBase",
@@ -33,6 +40,8 @@ __all__ = [
     "RandomPlanner",
     "RoundRobinPlanner",
     "Application",
+    "ApplicationSupervisor",
     "Deployer",
     "LoadBalancer",
+    "RecoveryRecord",
 ]

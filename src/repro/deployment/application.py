@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.components.reflection import InstanceInfo
+from repro.container.agent import dumps_state
 from repro.container.migration import MigrationEngine
 from repro.node.events import EventBroker
 from repro.node.node import Node
@@ -81,11 +82,17 @@ class Application:
         for name, info in self.infos.items():
             host = self.placement[name]
             if not self.deployer.topology.host(host).alive:
+                # The instance survives in the dead host's container; it
+                # must be destroyed when the host comes back or it leaks
+                # (and keeps its resources reserved) forever.
+                self.deployer.orphans.append((host, info.instance_id))
                 continue
             agent = self.deployer.coordinator.service_stub(host, "container")
             try:
                 yield agent.destroy_instance(info.instance_id)
             except SystemException:
+                # Host died mid-call: same orphan story as above.
+                self.deployer.orphans.append((host, info.instance_id))
                 continue
         self.torn_down = True
         if self in self.deployer.applications:
@@ -106,11 +113,84 @@ class Application:
         yield from self._rewire(instance_name)
         return info
 
+    def repair(self, instance_name: str, target_host: str,
+               state: Optional[dict] = None) -> Event:
+        """Re-incarnate an instance stranded on a dead host.
+
+        Unlike :meth:`migrate`, repair never talks to the source host —
+        it is dead; whatever state was not checkpointed is lost.  The
+        instance is incarnated on *target_host* under its old id with
+        *state* (last checkpoint, or empty), its outgoing wiring is
+        rebuilt from the assembly descriptor, and connections pointing
+        at it are re-aimed at the new incarnation.
+        """
+        return self.deployer.env.process(
+            self._repair(instance_name, target_host, state))
+
+    def _repair(self, instance_name: str, target_host: str,
+                state: Optional[dict] = None):
+        old_host = self.placement[instance_name]
+        old_id = self.instance_id(instance_name)
+        decl = next(i for i in self.assembly.instances
+                    if i.name == instance_name)
+        yield from self.deployer._ensure_installed(decl.component,
+                                                   target_host)
+        receptacles, subscriptions = self._outgoing_wiring(instance_name)
+        agent = self.deployer.coordinator.service_stub(target_host,
+                                                       "container")
+        value = yield agent.incarnate(
+            decl.component, decl.versions.text, old_id,
+            dumps_state(state or {}), receptacles, subscriptions)
+        self.infos[instance_name] = InstanceInfo.from_value(value)
+        self.placement[instance_name] = target_host
+        if old_host != target_host:
+            # The dead host still holds the stale incarnation; schedule
+            # it for destruction when (if) that host returns.
+            self.deployer.orphans.append((old_host, old_id))
+        try:
+            skipped = yield from self._rewire(instance_name)
+        except SystemException:
+            # A user host crashed mid-rewire.  The incarnation itself
+            # succeeded; report every inbound connection as still
+            # pending rather than failing the whole repair.
+            skipped = list(self.connections_to(instance_name))
+        return skipped
+
+    def _outgoing_wiring(self, instance_name: str
+                         ) -> tuple[list[dict], list[dict]]:
+        """This instance's declared outgoing connections as wire pairs."""
+        receptacles: list[dict] = []
+        subscriptions: list[dict] = []
+        for conn in self.assembly.connections:
+            if conn.from_instance != instance_name:
+                continue
+            if conn.kind == "interface":
+                ior = self.facet_ior(conn.to_instance, conn.to_port)
+                receptacles.append({"name": conn.from_port,
+                                    "peer": ior.to_string()})
+            else:
+                kind = self._event_kind(conn.to_instance, conn.to_port)
+                channel = EventBroker.channel_ior_on(
+                    self.placement[conn.to_instance], kind)
+                subscriptions.append({"name": conn.from_port,
+                                      "peer": channel.to_string()})
+        return receptacles, subscriptions
+
     def _rewire(self, migrated: str):
-        """Repair connections whose provider facets/channels moved."""
+        """Repair connections whose provider facets/channels moved.
+
+        Connections whose *user* currently sits on a dead host cannot be
+        repaired now; they are returned so a supervisor can retry them
+        once the user's host is back (or the user itself is recovered,
+        which rebuilds its outgoing wiring anyway).
+        """
         coordinator = self.deployer.coordinator
+        skipped: list[AssemblyConnection] = []
         for conn in self.connections_to(migrated):
             user_host = self.placement[conn.from_instance]
+            if not self.deployer.topology.host(user_host).alive:
+                skipped.append(conn)
+                continue
             user_id = self.instance_id(conn.from_instance)
             agent = coordinator.service_stub(user_host, "container")
             if conn.kind == "interface":
@@ -127,6 +207,7 @@ class Application:
                     self.placement[migrated], kind)
                 yield agent.subscribe(user_id, conn.from_port,
                                       channel.to_string())
+        return skipped
 
     def _event_kind(self, instance_name: str, port: str) -> str:
         for pinfo in self.infos[instance_name].ports:
@@ -151,6 +232,10 @@ class Deployer:
         self.env = self.coordinator.env
         self.topology = self.coordinator.network.topology
         self.applications: list[Application] = []
+        #: (host, instance_id) pairs stranded on dead hosts by teardown
+        #: or repair; the ApplicationSupervisor destroys them when the
+        #: host returns.
+        self.orphans: list[tuple[str, str]] = []
 
     # -- views --------------------------------------------------------------
     def gather_views(self) -> Event:

@@ -15,6 +15,7 @@ from typing import Optional
 from repro.container.migration import MigrationError
 from repro.deployment.application import Application, Deployer
 from repro.deployment.planner import load_imbalance
+from repro.orb.exceptions import SystemException
 from repro.sim.kernel import Event, Interrupt
 
 
@@ -59,6 +60,13 @@ class LoadBalancer:
         try:
             yield app.migrate(instance_name, coolest.host)
         except MigrationError:
+            return None
+        except SystemException:
+            # A host crashed mid-migration or mid-rewire.  The balancer
+            # is a background service: it must log the failure and keep
+            # its loop alive, not die with the host that crashed.
+            self.deployer.coordinator.metrics.counter(
+                "balance.failures").inc()
             return None
         action = BalanceAction(
             time=self.deployer.env.now, instance=instance_name,

@@ -42,6 +42,29 @@ class PlannerBase:
              qos_of: dict[str, QoSSpec]) -> dict[str, str]:
         raise NotImplementedError
 
+    def replan_instance(self, assembly: AssemblyDescriptor,
+                        instance_name: str,
+                        views: Sequence[ResourceSnapshot],
+                        qos_of: dict[str, QoSSpec],
+                        exclude: Sequence[str] = ()) -> str:
+        """Place one instance of an already-deployed assembly.
+
+        Used for recovery: the rest of the assembly stays put, so only
+        *instance_name* is planned, against current views minus the
+        hosts in *exclude* (typically the host it was stranded on).
+        """
+        decls = [i for i in assembly.instances if i.name == instance_name]
+        if not decls:
+            raise PlacementError(
+                f"assembly {assembly.name!r} has no instance "
+                f"{instance_name!r}"
+            )
+        mini = AssemblyDescriptor(name=assembly.name, instances=decls,
+                                  connections=[])
+        excluded = set(exclude)
+        usable = [v for v in views if v.host not in excluded]
+        return self.plan(mini, usable, qos_of)[instance_name]
+
     # -- helpers -----------------------------------------------------------
     @staticmethod
     def _ordered_instances(assembly: AssemblyDescriptor,

@@ -1,0 +1,299 @@
+"""Self-healing deployment supervision (§2.4.3).
+
+The paper requires protocols that "support spurious node failures and
+node disconnections (and re-connections) gracefully", but deployment
+alone only *places* instances — nothing reacts when the host under one
+dies.  The :class:`ApplicationSupervisor` closes that loop from the
+deployer's coordinator node:
+
+- **liveness** comes from the Distributed Registry's soft-state views
+  when one is provided (a host whose reports the MRMs stopped seeing is
+  presumed down) and from ground-truth topology otherwise;
+- **stranded instances** — deployed instances whose host is down — are
+  *re-planned* onto a live host with the deployer's planner and
+  re-incarnated there (from the last supervisor checkpoint of their
+  externalized state) via the migration/incarnation machinery, then
+  their connections are re-wired;
+- **coordinated replica groups** registered via :meth:`watch_group` get
+  their primary *promoted* to a live backup under a fresh fencing
+  epoch, so a restarted ex-primary can never push stale state back;
+- **orphans** — instances stranded on dead hosts by teardown or left
+  behind by a repair — are destroyed once their host returns;
+- when no live host has capacity, the recovery is **queued** and
+  retried with exponential backoff instead of being dropped.
+
+Every recovery emits metrics (``supervisor.*`` counters, the
+``supervisor.recovery.latency`` histogram) and, when the coordinator's
+ORB is instrumented, one trace span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.container.agent import loads_state
+from repro.container.replication import (
+    ReplicaGroup,
+    ReplicaManager,
+    ReplicationError,
+)
+from repro.deployment.application import (
+    Application,
+    Deployer,
+    DeploymentError,
+)
+from repro.deployment.planner import PlacementError
+from repro.obs import RECOVERY_LATENCY_HIST
+from repro.orb.exceptions import SystemException, UserException
+from repro.sim.kernel import Event, Interrupt
+
+
+@dataclass(frozen=True)
+class RecoveryRecord:
+    """One completed recovery, for reports and benchmarks."""
+
+    time: float
+    kind: str                   # "replan" | "promote"
+    name: str                   # instance name or component name
+    old_host: str
+    new_host: str
+    latency: float              # detection -> recovered, sim seconds
+    attempts: int = 1
+
+
+@dataclass
+class _Pending:
+    """A stranded instance waiting for (another) recovery attempt."""
+
+    detected: float
+    next_try: float
+    attempts: int = 0
+
+
+class ApplicationSupervisor:
+    """Watches a deployer's applications and heals them after crashes."""
+
+    def __init__(self, deployer: Deployer, interval: float = 5.0,
+                 checkpoint: bool = True, registry=None,
+                 backoff_base: float = 2.0,
+                 backoff_cap: float = 60.0) -> None:
+        self.deployer = deployer
+        self.node = deployer.coordinator
+        self.env = deployer.env
+        self.topology = deployer.topology
+        self.interval = interval
+        self.checkpoint = checkpoint
+        #: optional DistributedRegistry supplying soft-state liveness.
+        self.registry = registry
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.recoveries: list[RecoveryRecord] = []
+        self.watched_groups: list[tuple[ReplicaGroup, ReplicaManager]] = []
+        #: instance_id -> last externalized state seen alive.
+        self.checkpoints: dict[str, dict] = {}
+        self._pending: dict[tuple[str, str], _Pending] = {}
+        #: (app.name, instance) -> app, connections still to re-wire.
+        self._pending_rewires: dict[tuple[str, str], Application] = {}
+        self._proc = self.env.process(self._loop())
+        self.node.host.on_crash.append(self._on_crash)
+        self.node.host.on_restart.append(self._on_restart)
+
+    # -- lifecycle ---------------------------------------------------------
+    def _on_crash(self, _host) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("host crashed")
+        self._proc = None
+        # The coordinator's RAM is gone with it.
+        self.checkpoints.clear()
+        self._pending.clear()
+        self._pending_rewires.clear()
+
+    def _on_restart(self, _host) -> None:
+        self._proc = self.env.process(self._loop())
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("supervisor stopped")
+        self._proc = None
+
+    def watch_group(self, group: ReplicaGroup,
+                    manager: ReplicaManager) -> None:
+        """Supervise a replica group: promote on primary-host death."""
+        self.watched_groups.append((group, manager))
+
+    # -- liveness ----------------------------------------------------------
+    def _host_alive(self, host_id: str) -> bool:
+        if self.registry is not None:
+            return host_id in self.registry.live_hosts()
+        return self.topology.host(host_id).alive
+
+    # -- main loop ---------------------------------------------------------
+    def _loop(self):
+        try:
+            while True:
+                yield self.env.timeout(self.interval)
+                yield from self._tick()
+        except Interrupt:
+            return
+
+    def run_once(self) -> Event:
+        """One full supervision pass, as a process event (for tests)."""
+        return self.env.process(self._tick())
+
+    def _tick(self):
+        yield from self._sweep_orphans()
+        yield from self._check_groups()
+        yield from self._check_applications()
+        yield from self._retry_rewires()
+        if self.checkpoint:
+            yield from self._checkpoint_pass()
+
+    # -- orphan sweep ------------------------------------------------------
+    def _sweep_orphans(self):
+        """Destroy teardown/repair leftovers on hosts that returned."""
+        for entry in list(self.deployer.orphans):
+            host, instance_id = entry
+            if not self.topology.host(host).alive:
+                continue
+            agent = self.node.service_stub(host, "container")
+            try:
+                yield agent.destroy_instance(instance_id)
+            except UserException:
+                pass                    # already gone: still swept
+            except SystemException:
+                continue                # crashed again; retry next pass
+            if entry in self.deployer.orphans:
+                self.deployer.orphans.remove(entry)
+            self.node.metrics.counter("supervisor.orphans_swept").inc()
+
+    # -- replica promotion -------------------------------------------------
+    def _check_groups(self):
+        for group, manager in list(self.watched_groups):
+            if group.mode != "coordinated" or not group.members:
+                continue
+            primary = group.primary
+            if self._host_alive(primary.host):
+                continue
+            obs = getattr(self.node.orb, "obs", None)
+            span = obs.span("supervisor.promote", host=self.node.host_id,
+                            attrs={"component": group.component,
+                                   "dead_host": primary.host}) if obs else None
+            epoch_before = group.epoch
+            try:
+                new_primary = group.select_primary(self.topology)
+            except ReplicationError as exc:
+                self.node.metrics.counter(
+                    "supervisor.recovery.deferred").inc()
+                if span:
+                    obs.tracer.end_span(span, status="deferred",
+                                        error=str(exc))
+                continue
+            if group.epoch != epoch_before:
+                self.node.metrics.counter("supervisor.promotions").inc()
+                self.recoveries.append(RecoveryRecord(
+                    time=self.env.now, kind="promote",
+                    name=group.component, old_host=primary.host,
+                    new_host=new_primary.host, latency=0.0))
+            try:
+                # Align the surviving backups with the promoted primary.
+                yield from manager._sync(group)
+            except (ReplicationError, SystemException, UserException):
+                pass                    # next pass retries
+            if span:
+                obs.tracer.end_span(span, status="ok")
+
+    # -- stranded application instances ------------------------------------
+    def _check_applications(self):
+        for app in list(self.deployer.applications):
+            if app.torn_down:
+                continue
+            for name in list(app.placement):
+                key = (app.name, name)
+                if self._host_alive(app.placement[name]):
+                    # Back (or never gone): the instance survived in its
+                    # container; nothing to recover.
+                    self._pending.pop(key, None)
+                    continue
+                pend = self._pending.get(key)
+                if pend is None:
+                    pend = _Pending(detected=self.env.now,
+                                    next_try=self.env.now)
+                    self._pending[key] = pend
+                    self.node.metrics.counter("supervisor.stranded").inc()
+                if self.env.now < pend.next_try:
+                    continue
+                yield from self._recover_instance(app, name, pend)
+
+    def _recover_instance(self, app: Application, name: str,
+                          pend: _Pending):
+        dead_host = app.placement[name]
+        obs = getattr(self.node.orb, "obs", None)
+        span = obs.span("supervisor.recover", host=self.node.host_id,
+                        attrs={"application": app.name, "instance": name,
+                               "dead_host": dead_host,
+                               "attempt": pend.attempts + 1}) if obs else None
+        try:
+            views = yield from self.deployer._gather_views()
+            qos_of = self.deployer._qos_of(app.assembly)
+            target = self.deployer.planner.replan_instance(
+                app.assembly, name, views, qos_of, exclude=(dead_host,))
+            state = self.checkpoints.get(app.instance_id(name))
+            skipped = yield from app._repair(name, target, state)
+        except (PlacementError, DeploymentError, SystemException,
+                UserException) as exc:
+            # Degrade gracefully: keep the recovery queued and back off.
+            pend.attempts += 1
+            pend.next_try = self.env.now + min(
+                self.backoff_base * (2 ** (pend.attempts - 1)),
+                self.backoff_cap)
+            self.node.metrics.counter("supervisor.recovery.deferred").inc()
+            if span:
+                obs.tracer.end_span(span, status="deferred",
+                                    error=str(exc))
+            return
+        if skipped:
+            self._pending_rewires[(app.name, name)] = app
+        self._pending.pop((app.name, name), None)
+        latency = self.env.now - pend.detected
+        self.node.metrics.counter("supervisor.recoveries").inc()
+        self.node.metrics.histogram(RECOVERY_LATENCY_HIST).record(
+            max(latency, 1e-9))
+        self.recoveries.append(RecoveryRecord(
+            time=self.env.now, kind="replan", name=name,
+            old_host=dead_host, new_host=target, latency=latency,
+            attempts=pend.attempts + 1))
+        if span:
+            obs.tracer.end_span(span, status="ok")
+
+    # -- deferred rewires --------------------------------------------------
+    def _retry_rewires(self):
+        """Re-aim connections whose user host was down at repair time."""
+        for key, app in list(self._pending_rewires.items()):
+            _, name = key
+            if app.torn_down:
+                self._pending_rewires.pop(key, None)
+                continue
+            try:
+                skipped = yield from app._rewire(name)
+            except SystemException:
+                continue                # user crashed mid-rewire; retry
+            if not skipped:
+                self._pending_rewires.pop(key, None)
+
+    # -- checkpoints -------------------------------------------------------
+    def _checkpoint_pass(self):
+        """Snapshot live instances' externalized state for later repair."""
+        for app in list(self.deployer.applications):
+            if app.torn_down:
+                continue
+            for name, host in list(app.placement.items()):
+                if not self.topology.host(host).alive:
+                    continue
+                agent = self.node.service_stub(host, "container")
+                try:
+                    data = yield agent.get_state(app.instance_id(name))
+                except (SystemException, UserException):
+                    continue
+                self.checkpoints[app.instance_id(name)] = loads_state(data)
+                self.node.metrics.counter("supervisor.checkpoints").inc()

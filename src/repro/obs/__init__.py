@@ -45,6 +45,9 @@ __all__ = [
 #: metric name of the per-ORB pending-reply-table depth time series.
 PENDING_DEPTH_SERIES = "orb.pending.depth"
 
+#: histogram of detection-to-recovered latency per supervisor recovery.
+RECOVERY_LATENCY_HIST = "supervisor.recovery.latency"
+
 
 class Observability:
     """One hub per simulation: tracer + context store + interceptors."""
@@ -80,6 +83,13 @@ class Observability:
         values = nodes.values() if hasattr(nodes, "values") else nodes
         for node in values:
             self.install_node(node)
+
+    def span(self, name: str, parent=None, host=None, attrs=None):
+        """Open an internal span for a framework activity (recovery,
+        promotion, sweep); the caller ends it via ``tracer.end_span``."""
+        return self.tracer.start_span(name, kind="internal",
+                                      parent=parent, host=host,
+                                      attrs=attrs)
 
     def traces(self):
         return self.tracer.traces()

@@ -267,6 +267,25 @@ class DistributedRegistry:
             agents.extend(self.root.agents)
         return agents
 
+    def live_hosts(self) -> set[str]:
+        """Hosts the registry's soft-state views currently believe alive.
+
+        A host is "alive" when some serving MRM still holds its member
+        record — i.e. its periodic reports keep landing.  A host whose
+        reports have been missed past the member timeout is swept from
+        the tables and drops out of this set, which is exactly the
+        paper's "the MRM can suppose a node of the group has been down
+        after some time-out" signal the deployment supervisor keys on.
+        """
+        out: set[str] = set()
+        for agent in self.all_mrm_agents():
+            if not agent.node.host.alive:
+                continue
+            out.update(agent.members)
+            # A serving MRM host is, by construction, alive.
+            out.add(agent.node.host_id)
+        return out
+
     def retarget_group(self, group: Group) -> None:
         """Point a group's reporters/resolvers at its current MRM set
         (called after a replica promotion)."""

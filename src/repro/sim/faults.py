@@ -66,6 +66,37 @@ class FaultInjector:
     def cut_link_at(self, time: float, a: str, b: str) -> None:
         self._at(time, lambda: self.cut_link(a, b))
 
+    def heal_link_at(self, time: float, a: str, b: str) -> None:
+        self._at(time, lambda: self.heal_link(a, b))
+
+    # -- churn scenarios -------------------------------------------------
+    def outage_at(self, time: float, host_id: str,
+                  duration: float) -> None:
+        """One scripted crash/restart cycle: down at *time*, back after
+        *duration* — the unit of deterministic churn scenarios."""
+        self.crash_at(time, host_id)
+        self.restart_at(time + duration, host_id)
+
+    def outages(self, plan: Iterable[tuple[str, float, float]]) -> None:
+        """Schedule a whole churn script of (host, time, duration)."""
+        for host_id, time, duration in plan:
+            self.outage_at(time, host_id, duration)
+
+    def partition_at(self, time: float, group_a: Iterable[str],
+                     group_b: Iterable[str],
+                     duration: Optional[float] = None) -> None:
+        """Partition the two groups at *time*; heal after *duration*.
+
+        The links actually cut are determined at fire time (a link
+        already down stays out of the heal set), so a partition composes
+        with other scheduled faults.
+        """
+        set_a, set_b = list(group_a), list(group_b)
+        cuts: list[tuple[str, str]] = []
+        self._at(time, lambda: cuts.extend(self.partition(set_a, set_b)))
+        if duration is not None:
+            self._at(time + duration, lambda: self.heal_partition(cuts))
+
     def _at(self, time: float, action) -> None:
         delay = time - self.env.now
         if delay < 0:

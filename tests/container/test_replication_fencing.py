@@ -1,0 +1,107 @@
+"""Regression tests for replica fencing and churn-stable round robin.
+
+Two bugs lived here: (1) the coordinated sync picked its primary as
+"first currently-alive member", so a crashed-and-restarted ex-primary
+silently reclaimed the role and pushed its stale state over newer
+backup state; (2) the round-robin cursor advanced modulo the *alive*
+list, so any crash or restart elsewhere in the group skewed which
+member was picked next.
+"""
+
+import pytest
+
+from repro.container.replication import ReplicaManager, ReplicationError
+from repro.testing import counter_package, star_rig
+
+
+@pytest.fixture
+def rig():
+    r = star_rig(3)
+    r.node("hub").install_package(counter_package())
+    return r
+
+
+def exec_of(rig, member):
+    inst = rig.node(member.host).container.find_instance(member.instance_id)
+    return inst.executor
+
+
+def make_group(rig, hosts):
+    """Group on leaf hosts, managed from the always-alive hub (in a
+    star, leaf-to-leaf traffic routes through the hub)."""
+    manager = ReplicaManager(rig.node("hub"))
+    group = rig.run(until=manager.create_group("Counter", hosts))
+    return manager, group
+
+
+class TestPrimaryFencing:
+    def test_restarted_stale_primary_cannot_overwrite_newer_state(self, rig):
+        manager, group = make_group(rig, ["h0", "h1", "h2"])
+        exec_of(rig, group.members[0]).count = 10
+        rig.run(until=manager.sync(group))
+        assert [exec_of(rig, m).count for m in group.members] == [10, 10, 10]
+
+        rig.topology.set_host_state("h0", alive=False)
+        rig.run(until=manager.sync(group))         # failover promotion
+        assert group.primary.host == "h1"
+        assert group.epoch == 1
+        # state moves on under the new primary while h0 is down
+        exec_of(rig, group.members[1]).count = 99
+
+        rig.topology.set_host_state("h0", alive=True)
+        rig.run(until=manager.sync(group))         # stale copy is back
+        # fenced out: h0 (epoch 0) never reclaims the primary role
+        assert group.primary.host == "h1"
+        for member in group.members:
+            assert exec_of(rig, member).count == 99
+        assert rig.metrics.get("replication.promotions") == 1
+
+    def test_synced_backup_outranks_restarted_stale_member(self, rig):
+        manager, group = make_group(rig, ["h0", "h1", "h2"])
+        exec_of(rig, group.members[0]).count = 10
+        rig.run(until=manager.sync(group))
+
+        rig.topology.set_host_state("h0", alive=False)
+        rig.run(until=manager.sync(group))         # h1 promoted, h2 synced
+        exec_of(rig, group.members[1]).count = 99
+        rig.run(until=manager.sync(group))         # h2 now carries 99
+
+        rig.topology.set_host_state("h0", alive=True)
+        rig.topology.set_host_state("h1", alive=False)
+        rig.run(until=manager.sync(group))
+        # h2 was synced at the promotion epoch, so it outranks the
+        # restarted h0 (epoch 0) even though h0 sorts first
+        assert group.primary.host == "h2"
+        assert exec_of(rig, group.members[0]).count == 99
+        assert exec_of(rig, group.members[2]).count == 99
+
+
+class TestRoundRobinChurn:
+    def test_rotation_unskewed_by_crash_and_restart(self, rig):
+        _, group = make_group(rig, ["hub", "h0", "h1"])
+        topo = rig.topology
+        assert group.select_round_robin(topo).host == "hub"
+        topo.set_host_state("hub", alive=False)
+        # hub's slot is skipped, not collapsed: the rotation continues
+        # at h0 instead of jumping past it
+        assert group.select_round_robin(topo).host == "h0"
+        topo.set_host_state("hub", alive=True)
+        # the restart neither resets nor double-counts the cursor
+        assert group.select_round_robin(topo).host == "h1"
+        assert group.select_round_robin(topo).host == "hub"
+
+    def test_spread_stays_even_with_one_member_down(self, rig):
+        _, group = make_group(rig, ["hub", "h0", "h1"])
+        rig.topology.set_host_state("h0", alive=False)
+        picks = [group.select_round_robin(rig.topology).host
+                 for _ in range(8)]
+        assert picks.count("hub") == 4
+        assert picks.count("h1") == 4
+        assert "h0" not in picks
+
+    def test_all_members_down_raises(self, rig):
+        _, group = make_group(rig, ["hub", "h0"])
+        rig.topology.set_host_state("hub", alive=False)
+        rig.topology.set_host_state("h0", alive=False)
+        with pytest.raises(ReplicationError):
+            group.select_round_robin(rig.topology)
