@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test selftest bench faults
+.PHONY: check test selftest bench faults fuzz
 
 # The one-stop gate: observability + availability end-to-end selftests,
 # then the full tier-1 unit/integration suite.
@@ -10,6 +10,7 @@ check: selftest test
 selftest:
 	$(PYTHON) -m repro.tools.obs_report --selftest
 	$(PYTHON) benchmarks/bench_availability.py --selftest
+	$(PYTHON) benchmarks/bench_overload.py --selftest
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +18,10 @@ test:
 # fault-injection / churn integration tests only
 faults:
 	$(PYTHON) -m pytest -m faults -q
+
+# seeded wire-fuzz of the GIOP/CDR decoder
+fuzz:
+	$(PYTHON) -m pytest -m fuzz -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

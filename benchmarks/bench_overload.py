@@ -1,0 +1,179 @@
+"""C15 — goodput and tail latency under a 5x overload burst (§2.4.3).
+
+A fixed-capacity server (two dispatch workers) takes a request burst at
+five times its capacity over a wire that corrupts 2% of frames.  The
+unprotected ORB queues every arrival: queueing delay blows through the
+client timeout, retries amplify the load, and the server burns its CPU
+on requests whose callers have already given up.  The protected ORB
+bounds its dispatch table (excess arrivals are shed with a tiny
+TRANSIENT) and clients wrap calls in circuit breakers, so the server
+only works on requests it can still answer in time.
+
+Measured per arm: goodput (successful replies per second of burst) and
+client-perceived p99 latency (issue to final outcome, success or not).
+
+Run ``python benchmarks/bench_overload.py --selftest`` for the
+assertion-only mode wired into ``make check``.
+"""
+
+from _harness import report, stash
+from repro.orb.core import InterfaceDef, ORB, Servant, op
+from repro.orb.exceptions import SystemException
+from repro.orb.retry import BreakerRegistry, RetryPolicy, invoke_with_retry
+from repro.orb.typecodes import tc_long
+from repro.sim.faults import WireFaultModel, WireFaultProfile
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.topology import star
+
+# Server capacity: 2 workers x (hub cpu 1000 / cpu_cost 20) = 100 req/s.
+WORKERS = 2
+CPU_COST = 20.0
+DISPATCH_LIMIT = 24          # max wait in table: (24/2) * 0.02 s = 0.24 s
+N_CLIENTS = 4
+CORRUPT_RATE = 0.02
+
+#: (start, end, offered requests/s); the middle phase is the 5x burst.
+PHASES = [(0.0, 1.0, 50.0), (1.0, 5.0, 500.0), (5.0, 8.0, 50.0)]
+BURST = PHASES[1]
+HORIZON = 15.0               # every client process finishes well before
+
+POLICY = RetryPolicy(attempts=3, timeout=1.0, backoff=0.05,
+                     backoff_factor=2.0, jitter=True)
+
+IFACE = InterfaceDef("IDL:bench/Work:1.0", "Work", operations=[
+    op("work", [("x", tc_long)], tc_long, cpu_cost=CPU_COST),
+])
+WORK = IFACE.operations["work"]
+
+
+class WorkServant(Servant):
+    _interface = IFACE
+
+    def work(self, x):
+        return x + 1
+
+
+def run(protected: bool, seed: int = 0) -> dict:
+    env = Environment()
+    net = Network(env, star(N_CLIENTS), rngs=RngRegistry(seed))
+    net.wire_faults = WireFaultModel(
+        net.rngs, net.metrics,
+        default=WireFaultProfile(corrupt=CORRUPT_RATE))
+    server = ORB(env, net, "hub", dispatch_workers=WORKERS,
+                 dispatch_limit=DISPATCH_LIMIT if protected else None)
+    ior = server.adapter("app").activate(WorkServant())
+    clients = [ORB(env, net, f"h{k}") for k in range(N_CLIENTS)]
+    registries = ([BreakerRegistry(orb, failure_threshold=5,
+                                   reset_timeout=0.5)
+                   for orb in clients] if protected else None)
+
+    records: list[tuple[float, float, bool]] = []
+
+    def request(orb, breaker):
+        start = env.now
+        try:
+            yield from invoke_with_retry(orb, ior, WORK, (1,),
+                                         policy=POLICY, breaker=breaker)
+            records.append((start, env.now, True))
+        except SystemException:
+            records.append((start, env.now, False))
+
+    k = 0
+    for phase_start, phase_end, rate in PHASES:
+        step = 1.0 / rate
+        t = phase_start
+        while t < phase_end:
+            orb = clients[k % N_CLIENTS]
+            breaker = (registries[k % N_CLIENTS].breaker_for("hub")
+                       if protected else None)
+            env.timeout(t).callbacks.append(
+                lambda _ev, orb=orb, breaker=breaker:
+                env.process(request(orb, breaker)))
+            k += 1
+            t += step
+    env.run(until=env.timeout(HORIZON))
+
+    burst_ok = [r for r in records
+                if r[2] and BURST[0] <= r[0] < BURST[1]]
+    latencies = sorted(end - start for start, end, _ok in records)
+    p99 = latencies[int(0.99 * (len(latencies) - 1))]
+    return {
+        "offered": k,
+        "completed": len(records),
+        "ok": sum(1 for r in records if r[2]),
+        "goodput": len(burst_ok) / (BURST[1] - BURST[0]),
+        "p99": p99,
+        "shed": net.metrics.get("orb.shed"),
+        "breaker_opened": net.metrics.get("breaker.opened"),
+        "fast_fails": net.metrics.get("breaker.fast_fails"),
+        "corrupted": net.metrics.get("net.corrupted.bitflip"),
+        "bad_messages": net.metrics.get("orb.bad_messages"),
+    }
+
+
+def _check(shielded: dict, exposed: dict) -> None:
+    for arm in (shielded, exposed):
+        assert arm["completed"] == arm["offered"], arm  # nobody wedged
+        assert arm["corrupted"] > 0, arm                # wire was hostile
+    assert shielded["shed"] > 0 and exposed["shed"] == 0
+    assert shielded["breaker_opened"] >= 1
+    # The headline claims: protection strictly improves both metrics.
+    assert shielded["goodput"] > exposed["goodput"], (shielded, exposed)
+    assert shielded["p99"] < exposed["p99"], (shielded, exposed)
+
+
+def test_overload_burst(benchmark, capsys):
+    shielded = run(True)
+    exposed = run(False)
+    benchmark.pedantic(lambda: run(True, seed=1), rounds=1, iterations=1)
+    rows = [
+        ["shed+breaker", shielded["goodput"], f"{shielded['p99']:.2f} s",
+         f"{shielded['ok']}/{shielded['offered']}", shielded["shed"],
+         shielded["breaker_opened"]],
+        ["unprotected", exposed["goodput"], f"{exposed['p99']:.2f} s",
+         f"{exposed['ok']}/{exposed['offered']}", exposed["shed"],
+         exposed["breaker_opened"]],
+    ]
+    report(capsys,
+           "C15: 5x overload burst, 2% wire corruption "
+           f"(capacity {WORKERS * 1000 / CPU_COST:.0f} req/s)",
+           ["orb", "goodput req/s", "p99 latency", "ok/offered",
+            "shed", "breakers opened"], rows,
+           note="goodput = successful replies per burst second; p99 over "
+                "issue-to-final-outcome of every request")
+    _check(shielded, exposed)
+    stash(benchmark,
+          goodput_shielded=shielded["goodput"],
+          goodput_exposed=exposed["goodput"],
+          p99_shielded=shielded["p99"],
+          p99_exposed=exposed["p99"],
+          shed=shielded["shed"],
+          breaker_opened=shielded["breaker_opened"])
+
+
+def selftest() -> int:
+    shielded = run(True)
+    exposed = run(False)
+    _check(shielded, exposed)
+    print("bench_overload selftest ok: "
+          f"goodput {shielded['goodput']:.0f} vs {exposed['goodput']:.0f} "
+          f"req/s, p99 {shielded['p99']:.2f} vs {exposed['p99']:.2f} s "
+          f"({shielded['shed']:.0f} shed, "
+          f"{shielded['breaker_opened']:.0f} breakers opened)")
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="overload burst goodput benchmark")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the assertion-only gate (no tables)")
+    args = parser.parse_args()
+    if args.selftest:
+        sys.exit(selftest())
+    parser.error("run via pytest for the full report, or pass --selftest")

@@ -103,6 +103,8 @@ class Node:
         require_signature: bool = False,
         default_timeout: Optional[float] = None,
         obs=None,
+        dispatch_workers: Optional[int] = None,
+        dispatch_limit: Optional[int] = None,
     ) -> None:
         self.env = env
         self.network = network
@@ -112,7 +114,9 @@ class Node:
         self.ids = IdGenerator()
 
         self.orb = ORB(env, network, host_id,
-                       default_timeout=default_timeout)
+                       default_timeout=default_timeout,
+                       dispatch_workers=dispatch_workers,
+                       dispatch_limit=dispatch_limit)
         if obs is not None:
             obs.install(self.orb)
         self.resources = ResourceManager(env, self.host)

@@ -45,6 +45,9 @@ __all__ = [
 #: metric name of the per-ORB pending-reply-table depth time series.
 PENDING_DEPTH_SERIES = "orb.pending.depth"
 
+#: metric name of the per-ORB inbound-dispatch depth (admission gauge).
+DISPATCH_DEPTH_SERIES = "orb.dispatch.depth"
+
 #: histogram of detection-to-recovered latency per supervisor recovery.
 RECOVERY_LATENCY_HIST = "supervisor.recovery.latency"
 
@@ -73,6 +76,9 @@ class Observability:
         depth_series = self.metrics.series(PENDING_DEPTH_SERIES)
         orb.pending_watchers.append(
             lambda depth: depth_series.record(self.env.now, depth))
+        dispatch_series = self.metrics.series(DISPATCH_DEPTH_SERIES)
+        orb.dispatch_watchers.append(
+            lambda depth: dispatch_series.record(self.env.now, depth))
         self.orbs.append(orb)
 
     def install_node(self, node) -> None:

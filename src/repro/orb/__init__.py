@@ -24,6 +24,7 @@ from repro.orb.exceptions import (
     COMM_FAILURE,
     INTERNAL,
     INV_OBJREF,
+    MARSHAL,
     NO_IMPLEMENT,
     NO_RESOURCES,
     OBJECT_NOT_EXIST,
@@ -50,6 +51,7 @@ __all__ = [
     "TRANSIENT",
     "TIMEOUT",
     "INV_OBJREF",
+    "MARSHAL",
     "NO_RESOURCES",
     "INTERNAL",
     "TypeCode",

@@ -26,7 +26,7 @@ from __future__ import annotations
 import struct as _struct
 from typing import Any, Optional
 
-from repro.orb.exceptions import BAD_PARAM, INV_OBJREF
+from repro.orb.exceptions import BAD_PARAM, INV_OBJREF, MARSHAL
 from repro.orb.typecodes import TCKind, TypeCode
 
 _MAX_NESTING = 64
@@ -209,7 +209,12 @@ class CDRDecoder:
         self._pos += length
         if not raw.endswith(b"\x00"):
             raise BAD_PARAM("string not NUL-terminated")
-        return raw[:-1].decode("utf-8")
+        try:
+            return raw[:-1].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            # A corrupted wire must surface as a SystemException, never
+            # as a raw Python error escaping the decoder.
+            raise MARSHAL(f"invalid UTF-8 in string: {exc}") from None
 
     def read_octet_sequence(self) -> bytes:
         length = self.read_ulong()
@@ -402,6 +407,13 @@ def decode_value_interp(dec: CDRDecoder, tc: TypeCode, _depth: int = 0):
         return tc.labels[index]
     if kind is TCKind.SEQUENCE:
         n = dec.read_ulong()
+        # Every element consumes at least one byte, so a count beyond
+        # the remaining bytes is garbage; reject it before looping (or
+        # allocating) anything proportional to it.
+        if n > dec.remaining:
+            raise MARSHAL(
+                f"sequence count {n} exceeds {dec.remaining} remaining bytes"
+            )
         assert tc.content_type is not None
         return [decode_value_interp(dec, tc.content_type, _depth + 1)
                 for _ in range(n)]
@@ -577,6 +589,16 @@ def encode_typecode(enc: CDREncoder, tc: TypeCode, _depth: int = 0) -> None:
     enc.write_encapsulation(body.take())
 
 
+def _checked_count(dec: CDRDecoder, what: str) -> int:
+    """Read a ulong member/label count, bounded by the remaining bytes."""
+    n = dec.read_ulong()
+    if n > dec.remaining:
+        raise MARSHAL(
+            f"{what} count {n} exceeds {dec.remaining} remaining bytes"
+        )
+    return n
+
+
 def decode_typecode(dec: CDRDecoder, _depth: int = 0) -> TypeCode:
     if _depth > _MAX_NESTING:
         raise BAD_PARAM("TypeCode nesting too deep")
@@ -594,7 +616,7 @@ def decode_typecode(dec: CDRDecoder, _depth: int = 0) -> TypeCode:
     if kind in (TCKind.STRUCT, TCKind.EXCEPT):
         repo_id = body.read_string()
         name = body.read_string()
-        n = body.read_ulong()
+        n = _checked_count(body, "struct member")
         members = []
         for _ in range(n):
             mname = body.read_string()
@@ -603,7 +625,7 @@ def decode_typecode(dec: CDRDecoder, _depth: int = 0) -> TypeCode:
     if kind is TCKind.ENUM:
         repo_id = body.read_string()
         name = body.read_string()
-        n = body.read_ulong()
+        n = _checked_count(body, "enum label")
         labels = [body.read_string() for _ in range(n)]
         return TypeCode(kind, name=name, repo_id=repo_id, labels=labels)
     if kind in (TCKind.SEQUENCE, TCKind.ARRAY):
@@ -620,7 +642,7 @@ def decode_typecode(dec: CDRDecoder, _depth: int = 0) -> TypeCode:
         name = body.read_string()
         disc = decode_typecode(body, _depth + 1)
         default_index = body.read_long()
-        n = body.read_ulong()
+        n = _checked_count(body, "union arm")
         members = []
         for _ in range(n):
             is_default = body.read_boolean()

@@ -32,7 +32,7 @@ from typing import Callable, Optional
 
 from repro.orb import cdr as _cdr
 from repro.orb.cdr import CDRDecoder, CDREncoder
-from repro.orb.exceptions import BAD_PARAM
+from repro.orb.exceptions import BAD_PARAM, MARSHAL
 from repro.orb.typecodes import TCKind, TypeCode
 
 _MAX_NESTING = _cdr._MAX_NESTING
@@ -535,6 +535,13 @@ def _loop_seq_codec(tc: TypeCode, content: "CodecPlan"):
             )
         (n,) = _ULONG.unpack_from(buf, pos)
         dec._pos = pos + 4
+        # Every element consumes at least one byte; reject garbage
+        # counts before looping anything proportional to them.
+        if n > len(buf) - dec._pos:
+            raise MARSHAL(
+                f"sequence count {n} exceeds {len(buf) - dec._pos} "
+                "remaining bytes"
+            )
         return [c_decode(dec) for _ in range(n)]
 
     return encode, decode

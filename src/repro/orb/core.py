@@ -18,6 +18,7 @@ nested remote calls or sleep for simulated time while serving.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any as TAny
 from typing import Callable, Iterable, Optional, Sequence
@@ -29,11 +30,14 @@ from repro.orb.exceptions import (
     BAD_OPERATION,
     BAD_PARAM,
     COMM_FAILURE,
+    COMPLETED_NO,
     INTERNAL,
+    MINOR_SHED,
     NO_IMPLEMENT,
     OBJECT_NOT_EXIST,
     SYSTEM_EXCEPTIONS,
     TIMEOUT,
+    TRANSIENT,
     UNKNOWN,
     SystemException,
     UserException,
@@ -362,6 +366,48 @@ class Stub:
         return f"<Stub {self._iface.name} -> {self._ior}>"
 
 
+class _DispatchSlots:
+    """FIFO semaphore bounding concurrent servant execution.
+
+    A host has finite CPU parallelism; when every slot is busy further
+    admitted dispatches queue here in arrival order, which is what makes
+    overload *visible* (queueing delay, growing inflight count) instead
+    of the server pretending to be infinitely parallel.
+    """
+
+    __slots__ = ("env", "capacity", "_free", "_waiters")
+
+    def __init__(self, env: Environment, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"dispatch workers must be >= 1, got {capacity}"
+            )
+        self.env = env
+        self.capacity = capacity
+        self._free = capacity
+        self._waiters: deque[Event] = deque()
+
+    def acquire(self) -> Event:
+        """Event that fires (possibly immediately) once a slot is held."""
+        ev = self.env.event()
+        if self._free > 0:
+            self._free -= 1
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+        else:
+            self._free += 1
+
+    @property
+    def queued(self) -> int:
+        return len(self._waiters)
+
+
 class ORB:
     """One Object Request Broker per simulated host."""
 
@@ -379,6 +425,8 @@ class ORB:
         host_id: str,
         default_timeout: Optional[float] = None,
         reply_deadline: Optional[float] = REPLY_DEADLINE,
+        dispatch_workers: Optional[int] = None,
+        dispatch_limit: Optional[int] = None,
     ) -> None:
         self.env = env
         self.network = network
@@ -387,6 +435,14 @@ class ORB:
         self.metrics = network.metrics
         self.default_timeout = default_timeout
         self.reply_deadline = reply_deadline
+        #: admission control: max requests admitted and not yet finished
+        #: (executing + queued for a worker slot).  ``None`` = unbounded.
+        self.dispatch_limit = dispatch_limit
+        #: CPU parallelism: servant execution is serialized through this
+        #: many worker slots.  ``None`` = infinitely parallel (legacy).
+        self._slots = (_DispatchSlots(env, dispatch_workers)
+                       if dispatch_workers is not None else None)
+        self._inflight = 0
         self._iface = network.interface(host_id)
         self._iface.bind("giop", self._on_message)
         self._adapters: dict[str, "POA"] = {}
@@ -400,6 +456,8 @@ class ORB:
         self.dispatch_listeners: list[Callable[[float], None]] = []
         #: called with the pending-table depth on every add/remove.
         self.pending_watchers: list[Callable[[int], None]] = []
+        #: called with the inbound dispatch depth on every admit/finish.
+        self.dispatch_watchers: list[Callable[[int], None]] = []
         self._client_interceptors: list[TAny] = []
         self._server_interceptors: list[TAny] = []
         #: observability hub, set by repro.obs.Observability.install().
@@ -420,6 +478,17 @@ class ORB:
             depth = len(self._pending)
             for watcher in self.pending_watchers:
                 watcher(depth)
+
+    def _watch_dispatch(self) -> None:
+        if self.dispatch_watchers:
+            depth = self._inflight
+            for watcher in self.dispatch_watchers:
+                watcher(depth)
+
+    @property
+    def inflight_dispatches(self) -> int:
+        """Requests admitted and not yet finished (queued + executing)."""
+        return self._inflight
 
     # -- adapters ----------------------------------------------------------
     def adapter(self, name: str) -> "POA":
@@ -633,11 +702,39 @@ class ORB:
         except SystemException:
             self.metrics.counter("orb.bad_messages").inc()
             return
+        except Exception:
+            # decode_message converts decoder errors to MARSHAL; this
+            # is the last line of defence — a corrupted wire must never
+            # crash the node's message handler.
+            self.metrics.counter("orb.bad_messages").inc()
+            return
         if isinstance(decoded, giop.RequestMessage):
+            if (self.dispatch_limit is not None
+                    and self._inflight >= self.dispatch_limit):
+                self._shed(decoded, msg.src)
+                return
+            self._inflight += 1
+            self._watch_dispatch()
             self.env.process(self._dispatch(decoded, msg.src,
                                             len(msg.payload)))
         else:
             self._complete(decoded, len(msg.payload))
+
+    def _shed(self, request: giop.RequestMessage, client: str) -> None:
+        """Load-shed an inbound request: the dispatch table is full.
+
+        The reply is a tiny TRANSIENT (minor = shed) sent without
+        running interceptors or touching a worker slot, so a saturated
+        node spends almost nothing per rejected call — the property
+        that keeps goodput up under overload.
+        """
+        self.metrics.counter("orb.shed").inc()
+        if request.response_expected:
+            self._reply_system(client, request, TRANSIENT(
+                f"dispatch table full ({self.dispatch_limit}) "
+                f"on {self.host_id}",
+                minor=MINOR_SHED, completed=COMPLETED_NO,
+            ))
 
     # -- server side -------------------------------------------------------------
     def _dispatch(self, request: giop.RequestMessage, client: str,
@@ -652,6 +749,8 @@ class ORB:
         try:
             yield from self._dispatch_body(request, client, info)
         finally:
+            self._inflight -= 1
+            self._watch_dispatch()
             if info is not None:
                 info.end = self.env.now
                 for icpt in reversed(self._server_interceptors):
@@ -679,23 +778,32 @@ class ORB:
             dec = CDRDecoder(request.args)
             args = op_codec(odef).decode_in(dec)
 
-            # Charge the operation's CPU cost at this host's speed.
-            cost_s = odef.cpu_cost / self.host.profile.cpu_power
-            for listener in self.dispatch_listeners:
-                listener(cost_s)
-            if cost_s > 0:
-                yield self.env.timeout(cost_s)
+            slots = self._slots
+            if slots is not None:
+                # Wait (FIFO) for a worker slot: servant execution is
+                # serialized through the host's CPU parallelism.
+                yield slots.acquire()
+            try:
+                # Charge the operation's CPU cost at this host's speed.
+                cost_s = odef.cpu_cost / self.host.profile.cpu_power
+                for listener in self.dispatch_listeners:
+                    listener(cost_s)
+                if cost_s > 0:
+                    yield self.env.timeout(cost_s)
 
-            result = method(*args)
-            if hasattr(result, "send") and hasattr(result, "throw"):
-                # Servant method is a generator: drive it to completion.
-                proc = self.env.process(result)
-                if info is not None:
-                    for icpt in self._server_interceptors:
-                        hook = getattr(icpt, "child_process", None)
-                        if hook is not None:
-                            hook(info, proc)
-                result = yield proc
+                result = method(*args)
+                if hasattr(result, "send") and hasattr(result, "throw"):
+                    # Servant method is a generator: drive it to completion.
+                    proc = self.env.process(result)
+                    if info is not None:
+                        for icpt in self._server_interceptors:
+                            hook = getattr(icpt, "child_process", None)
+                            if hook is not None:
+                                hook(info, proc)
+                    result = yield proc
+            finally:
+                if slots is not None:
+                    slots.release()
 
             self.metrics.counter("orb.dispatches").inc()
             if not request.response_expected:

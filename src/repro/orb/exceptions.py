@@ -15,6 +15,14 @@ COMPLETED_MAYBE = 2
 
 _STATUS_NAMES = {COMPLETED_YES: "YES", COMPLETED_NO: "NO", COMPLETED_MAYBE: "MAYBE"}
 
+# Minor codes carried by system exceptions so clients can distinguish
+# mechanically-different causes of the same exception type.
+#: TRANSIENT: the server's admission controller shed the request.
+MINOR_SHED = 1
+#: TRANSIENT: the client-side circuit breaker is open; no wire traffic
+#: was generated for this attempt.
+MINOR_BREAKER_OPEN = 2
+
 
 class SystemException(ReproError):
     """Base of the CORBA standard system exceptions."""
@@ -72,6 +80,15 @@ class INV_OBJREF(SystemException):
     """The object reference is malformed."""
 
 
+class MARSHAL(SystemException):
+    """A request or reply could not be (un)marshalled.
+
+    Every decode-time defect — underflows, oversized counts, invalid
+    UTF-8, unknown tags — surfaces as MARSHAL, never as a raw Python
+    exception: a corrupted wire must not be able to crash an ORB.
+    """
+
+
 class NO_RESOURCES(SystemException):
     """The target lacks the resources to honour the request."""
 
@@ -86,7 +103,7 @@ SYSTEM_EXCEPTIONS: dict[str, type[SystemException]] = {
     for cls in (
         UNKNOWN, BAD_PARAM, BAD_OPERATION, NO_IMPLEMENT, COMM_FAILURE,
         OBJECT_NOT_EXIST, TRANSIENT, TIMEOUT, INV_OBJREF, NO_RESOURCES,
-        INTERNAL,
+        INTERNAL, MARSHAL,
     )
 }
 

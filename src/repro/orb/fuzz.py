@@ -1,0 +1,208 @@
+"""Deterministic wire-fuzz harness for the GIOP/CDR decoder.
+
+The robustness contract of :func:`repro.orb.giop.decode_message` is:
+for *any* byte string, it either returns a message or raises a
+:class:`~repro.orb.exceptions.SystemException` — never a raw Python
+exception, and never an allocation larger than the input justifies.
+This module checks that contract mechanically: take valid request and
+reply frames, mutate them with seeded byte-level operators (the same
+damage a hostile or flaky wire inflicts), and decode every mutant.
+
+Everything is driven by ``numpy`` generators seeded per run, so a
+failing seed/iteration pair reproduces exactly.  Used by
+``tests/orb/test_wire_fuzz.py`` (``fuzz`` marker, ``make fuzz``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.orb import giop
+from repro.orb.exceptions import SystemException
+
+
+def corpus() -> list[bytes]:
+    """Canonical valid wire frames covering both message kinds."""
+    requests = [
+        giop.RequestMessage(
+            request_id=7, response_expected=True, host="h1",
+            adapter="node", object_key="registry", operation="lookup",
+            args=b"\x00\x00\x00\x04ping",
+            service_context=(("trace-id", "t000001"),
+                             ("span-id", "s000001")),
+        ),
+        giop.RequestMessage(
+            request_id=2 ** 31, response_expected=False, host="hub",
+            adapter="app", object_key="k" * 40, operation="_get_value",
+            args=bytes(range(256)), service_context=(),
+        ),
+    ]
+    replies = [
+        giop.ReplyMessage(request_id=7, status=giop.NO_EXCEPTION,
+                          body=b"\x00\x00\x00\x2a"),
+        giop.ReplyMessage(request_id=9, status=giop.SYSTEM_EXCEPTION,
+                          body=b"\x00\x00\x00\x01x\x00" * 6),
+    ]
+    return [m.encode() for m in requests] + [m.encode() for m in replies]
+
+
+# -- mutation operators --------------------------------------------------------
+# Each takes (bytearray, rng) and returns mutated bytes.  They model the
+# damage classes of WireFaultModel plus adversarial field stomps.
+
+def _bit_flips(data: bytearray, rng) -> bytes:
+    for _ in range(1 + int(rng.integers(0, 8))):
+        pos = int(rng.integers(0, len(data)))
+        data[pos] ^= 1 << int(rng.integers(0, 8))
+    return bytes(data)
+
+
+def _truncate(data: bytearray, rng) -> bytes:
+    return bytes(data[: int(rng.integers(0, len(data)))])
+
+
+def _extend(data: bytearray, rng) -> bytes:
+    tail = rng.integers(0, 256, size=int(rng.integers(1, 64)), dtype=np.uint8)
+    return bytes(data) + tail.tobytes()
+
+
+def _zero_run(data: bytearray, rng) -> bytes:
+    start = int(rng.integers(0, len(data)))
+    end = min(len(data), start + int(rng.integers(1, 16)))
+    data[start:end] = b"\x00" * (end - start)
+    return bytes(data)
+
+
+def _ff_run(data: bytearray, rng) -> bytes:
+    start = int(rng.integers(0, len(data)))
+    end = min(len(data), start + int(rng.integers(1, 16)))
+    data[start:end] = b"\xff" * (end - start)
+    return bytes(data)
+
+
+def _ulong_stomp(data: bytearray, rng) -> bytes:
+    """Overwrite an aligned ulong with an adversarial count/length."""
+    if len(data) < 8:
+        return bytes(data)
+    pos = 4 * int(rng.integers(0, len(data) // 4))
+    value = int(rng.choice([0, 1, 2 ** 16, 2 ** 31 - 1, 2 ** 32 - 1]))
+    data[pos:pos + 4] = value.to_bytes(4, "big")
+    return bytes(data)
+
+
+def _splice(data: bytearray, rng) -> bytes:
+    """Copy one random slice of the frame over another."""
+    n = int(rng.integers(1, max(2, len(data) // 2)))
+    src = int(rng.integers(0, len(data) - n + 1))
+    dst = int(rng.integers(0, len(data) - n + 1))
+    data[dst:dst + n] = data[src:src + n]
+    return bytes(data)
+
+
+def _garbage(data: bytearray, rng) -> bytes:
+    """Replace the whole frame with random bytes of similar size."""
+    n = int(rng.integers(1, 2 * len(data)))
+    return rng.integers(0, 256, size=n, dtype=np.uint8).tobytes()
+
+
+MUTATORS = (_bit_flips, _truncate, _extend, _zero_run, _ff_run,
+            _ulong_stomp, _splice, _garbage)
+
+
+def mutate(data: bytes, rng) -> bytes:
+    """Apply 1-3 random mutation operators to *data*."""
+    out = data
+    for _ in range(1 + int(rng.integers(0, 3))):
+        if not out:
+            break
+        mutator = MUTATORS[int(rng.integers(0, len(MUTATORS)))]
+        out = mutator(bytearray(out), rng)
+    return out
+
+
+# -- the harness ---------------------------------------------------------------
+
+@dataclass
+class FuzzReport:
+    """Outcome tally of one fuzz run."""
+
+    seed: int
+    iterations: int = 0
+    decoded: int = 0            # mutant still parsed as a message
+    rejected: int = 0           # clean SystemException
+    #: (iteration, mutant bytes, exception) for every contract breach:
+    #: a non-SystemException escape or an over-allocation.
+    failures: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def check_bounded(message, data: bytes) -> None:
+    """Assert the decoder never allocated more than the input justifies.
+
+    Every decoded byte string and every collection slot was read from
+    the wire, so its size is bounded by the frame length.
+    """
+    limit = len(data)
+    if isinstance(message, giop.RequestMessage):
+        strings = [message.host, message.adapter, message.object_key,
+                   message.operation]
+        for key, value in message.service_context:
+            strings.extend((key, value))
+        for s in strings:
+            if len(s.encode("utf-8")) > limit:
+                raise AssertionError(
+                    f"decoded string of {len(s)} chars from a "
+                    f"{limit}-byte frame"
+                )
+        if len(message.args) > limit:
+            raise AssertionError(
+                f"decoded {len(message.args)}-byte args from a "
+                f"{limit}-byte frame"
+            )
+        if len(message.service_context) > giop.MAX_SERVICE_CONTEXT_SLOTS:
+            raise AssertionError(
+                f"{len(message.service_context)} service-context slots "
+                f"exceed the cap"
+            )
+    else:
+        if len(message.body) > limit:
+            raise AssertionError(
+                f"decoded {len(message.body)}-byte body from a "
+                f"{limit}-byte frame"
+            )
+
+
+def run_fuzz(seed: int, iterations: int = 2000) -> FuzzReport:
+    """Mutate-and-decode *iterations* frames; tally the outcomes.
+
+    Never raises for decoder misbehaviour — contract breaches are
+    collected in :attr:`FuzzReport.failures` so a test can show every
+    offending byte string at once.
+    """
+    rng = np.random.default_rng(seed)
+    frames = corpus()
+    report = FuzzReport(seed=seed)
+    for i in range(iterations):
+        base = frames[int(rng.integers(0, len(frames)))]
+        mutant = mutate(base, rng)
+        report.iterations += 1
+        try:
+            message = giop.decode_message(mutant)
+        except SystemException:
+            report.rejected += 1
+            continue
+        except BaseException as exc:  # contract breach: raw escape
+            report.failures.append((i, mutant, exc))
+            continue
+        try:
+            check_bounded(message, mutant)
+        except AssertionError as exc:
+            report.failures.append((i, mutant, exc))
+            continue
+        report.decoded += 1
+    return report

@@ -29,10 +29,15 @@ import struct as _struct
 from dataclasses import dataclass
 
 from repro.orb.cdr import CDRDecoder
-from repro.orb.exceptions import BAD_PARAM
+from repro.orb.exceptions import BAD_PARAM, MARSHAL
 
 MSG_REQUEST = 0
 MSG_REPLY = 1
+
+#: Hard cap on service-context slots accepted from the wire.  Legitimate
+#: senders carry a handful (trace/span ids); a corrupted count must not
+#: drive thousands of decode attempts or allocations.
+MAX_SERVICE_CONTEXT_SLOTS = 32
 
 NO_EXCEPTION = 0
 USER_EXCEPTION = 1
@@ -126,9 +131,30 @@ class ReplyMessage:
         return bytes(buf)
 
 
+#: Python exceptions a hostile byte stream can provoke inside the
+#: decoder; all of them must surface as MARSHAL, never raw.
+_DECODE_ERRORS = (
+    _struct.error, UnicodeDecodeError, OverflowError, ValueError,
+    IndexError, TypeError,
+)
+
+
 def decode_message(data: bytes) -> "RequestMessage | ReplyMessage":
-    """Decode either message kind from its wire form."""
-    dec = CDRDecoder(data)
+    """Decode either message kind from its wire form.
+
+    Defensive: length and count fields are validated against the bytes
+    actually present *before* anything is allocated or iterated, and
+    every decode-time Python error is converted to :class:`MARSHAL`.
+    The only exceptions this function ever raises are
+    :class:`~repro.orb.exceptions.SystemException` subclasses.
+    """
+    try:
+        return _decode_message_body(CDRDecoder(data))
+    except _DECODE_ERRORS as exc:
+        raise MARSHAL(f"malformed GIOP message: {exc!r}") from None
+
+
+def _decode_message_body(dec: CDRDecoder) -> "RequestMessage | ReplyMessage":
     msg_type = dec.read_octet()
     if msg_type == MSG_REQUEST:
         request_id = dec.read_ulong()
@@ -139,6 +165,14 @@ def decode_message(data: bytes) -> "RequestMessage | ReplyMessage":
         operation = dec.read_string()
         args = dec.read_octet_sequence()
         n_slots = dec.read_ulong()
+        if n_slots > MAX_SERVICE_CONTEXT_SLOTS:
+            raise MARSHAL(f"service context count {n_slots} exceeds cap "
+                          f"{MAX_SERVICE_CONTEXT_SLOTS}")
+        # Each slot is two strings of >= 4 bytes (length word) each;
+        # bound the loop by the bytes that are actually there.
+        if n_slots * 8 > dec.remaining:
+            raise MARSHAL(f"service context count {n_slots} exceeds "
+                          f"{dec.remaining} remaining bytes")
         service_context = tuple(
             (dec.read_string(), dec.read_string()) for _ in range(n_slots)
         )

@@ -21,9 +21,11 @@ from typing import Any, Optional, Sequence
 from repro.orb.core import ORB, OperationDef
 from repro.orb.exceptions import (
     COMM_FAILURE,
+    MINOR_BREAKER_OPEN,
     SystemException,
     TIMEOUT,
     TRANSIENT,
+    UserException,
 )
 from repro.orb.ior import IOR
 
@@ -80,10 +82,147 @@ class RetryPolicy:
         return float(rng.uniform(0.0, scheduled))
 
 
+class CircuitBreaker:
+    """Client-side circuit breaker for one sick peer.
+
+    Standard three-state machine: CLOSED counts consecutive retryable
+    failures; at ``failure_threshold`` the breaker OPENs and every call
+    fast-fails locally (TRANSIENT, minor = breaker-open, no wire
+    traffic) until ``reset_timeout`` simulated seconds pass; then it
+    goes HALF_OPEN and admits up to ``half_open_probes`` probe calls —
+    one success re-CLOSEs it, one failure re-OPENs it and re-arms the
+    timer.  Used via :func:`invoke_with_retry`'s ``breaker`` argument,
+    which stops a retry loop from hammering a node that is down,
+    partitioned or shedding.
+
+    Every state transition is counted (``breaker.opened`` /
+    ``breaker.closed`` / ``breaker.half_open``), appended to
+    :attr:`transitions` as ``(time, from_state, to_state)``, and — when
+    the owning ORB has an observability hub installed — emitted as a
+    zero-length ``breaker:`` span so traces show exactly when a client
+    gave up on (and came back to) a peer.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, orb: ORB, peer: str,
+                 failure_threshold: int = 5,
+                 reset_timeout: float = 10.0,
+                 half_open_probes: int = 1) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if reset_timeout <= 0:
+            raise ValueError("reset_timeout must be > 0")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        self.orb = orb
+        self.peer = peer
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.half_open_probes = half_open_probes
+        self.state = self.CLOSED
+        self.failures = 0          # consecutive retryable failures
+        self.fast_fails = 0        # calls rejected while OPEN
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        #: (sim time, from_state, to_state) for every transition.
+        self.transitions: list[tuple[float, str, str]] = []
+
+    # -- state machine -----------------------------------------------------
+    def _transition(self, to_state: str) -> None:
+        from_state = self.state
+        if from_state == to_state:
+            return
+        self.state = to_state
+        now = self.orb.env.now
+        self.transitions.append((now, from_state, to_state))
+        self.orb.metrics.counter(f"breaker.{to_state}"
+                                 if to_state != self.OPEN
+                                 else "breaker.opened").inc()
+        hub = self.orb.obs
+        if hub is not None:
+            span = hub.tracer.start_span(
+                f"breaker:{from_state}->{to_state}", kind="internal",
+                parent=hub.context.current(self.orb.env),
+                host=self.orb.host_id,
+                attrs={"peer": self.peer, "failures": self.failures})
+            hub.tracer.end_span(span, status="ok")
+
+    def allow(self) -> bool:
+        """May a call be attempted right now?  (Counts a probe slot.)"""
+        if self.state == self.OPEN:
+            if self.orb.env.now - self._opened_at >= self.reset_timeout:
+                self._probes_in_flight = 0
+                self._transition(self.HALF_OPEN)
+            else:
+                self.fast_fails += 1
+                self.orb.metrics.counter("breaker.fast_fails").inc()
+                return False
+        if self.state == self.HALF_OPEN:
+            if self._probes_in_flight >= self.half_open_probes:
+                self.fast_fails += 1
+                self.orb.metrics.counter("breaker.fast_fails").inc()
+                return False
+            self._probes_in_flight += 1
+        return True
+
+    def on_success(self) -> None:
+        """The peer answered (any reply, even a user exception)."""
+        self.failures = 0
+        if self.state == self.HALF_OPEN:
+            self._transition(self.CLOSED)
+
+    def on_failure(self) -> None:
+        """A retryable failure (timeout, unreachable, shed) occurred."""
+        if self.state == self.HALF_OPEN:
+            self._opened_at = self.orb.env.now
+            self._transition(self.OPEN)
+            return
+        self.failures += 1
+        if self.state == self.CLOSED and \
+                self.failures >= self.failure_threshold:
+            self._opened_at = self.orb.env.now
+            self._transition(self.OPEN)
+
+    def reject_exception(self) -> TRANSIENT:
+        """The exception a fast-failed call surfaces to its caller."""
+        return TRANSIENT(
+            f"circuit breaker open to {self.peer} "
+            f"({self.failures} consecutive failures)",
+            minor=MINOR_BREAKER_OPEN,
+        )
+
+
+class BreakerRegistry:
+    """One :class:`CircuitBreaker` per peer host, created on first use.
+
+    Clients that talk to many peers keep one registry; breaker state is
+    per-peer, so one sick node never blocks calls to healthy ones.
+    """
+
+    def __init__(self, orb: ORB, **breaker_kwargs) -> None:
+        self.orb = orb
+        self.breaker_kwargs = breaker_kwargs
+        self._breakers: dict[str, CircuitBreaker] = {}
+
+    def breaker_for(self, peer: str) -> CircuitBreaker:
+        breaker = self._breakers.get(peer)
+        if breaker is None:
+            breaker = CircuitBreaker(self.orb, peer, **self.breaker_kwargs)
+            self._breakers[peer] = breaker
+        return breaker
+
+    def breakers(self) -> dict[str, CircuitBreaker]:
+        return dict(self._breakers)
+
+
 def invoke_with_retry(orb: ORB, ior: IOR, odef: OperationDef,
                       args: Sequence[Any],
                       policy: Optional[RetryPolicy] = None,
-                      meter: Optional[str] = None):
+                      meter: Optional[str] = None,
+                      breaker: Optional[CircuitBreaker] = None):
     """Generator: invoke with retries; yields events, returns the result.
 
     Use from simulation processes::
@@ -133,18 +272,33 @@ def invoke_with_retry(orb: ORB, ior: IOR, odef: OperationDef,
                 if remaining <= 0:
                     break
                 attempt_timeout = min(attempt_timeout, remaining)
+            if breaker is not None and not breaker.allow():
+                # Fast-fail locally: no marshalling, no wire bytes, no
+                # pending-table entry — the whole point of the breaker.
+                last_exc = breaker.reject_exception()
+                continue
             attempts_made += 1
             try:
                 result = yield orb.invoke(ior, odef, args,
                                           timeout=attempt_timeout,
                                           meter=meter)
+                if breaker is not None:
+                    breaker.on_success()
                 if span is not None:
                     span.attrs["attempts"] = attempts_made
                     hub.tracer.end_span(span, status="ok")
                 return result
             except RETRYABLE as exc:
+                if breaker is not None:
+                    breaker.on_failure()
                 last_exc = exc
                 continue
+            except (SystemException, UserException):
+                # A definitive (non-retryable) answer still proves the
+                # peer is alive; it must not keep the breaker open.
+                if breaker is not None:
+                    breaker.on_success()
+                raise
         if last_exc is None:
             last_exc = TIMEOUT(
                 f"retry deadline {policy.deadline}s exhausted before "
@@ -168,7 +322,9 @@ def invoke_with_retry(orb: ORB, ior: IOR, odef: OperationDef,
 
 def call_with_retry(orb: ORB, ior: IOR, odef: OperationDef,
                     args: Sequence[Any],
-                    policy: Optional[RetryPolicy] = None):
+                    policy: Optional[RetryPolicy] = None,
+                    breaker: Optional[CircuitBreaker] = None):
     """Synchronous variant for test/driver code outside the simulation."""
     return orb.sync(orb.env.process(
-        invoke_with_retry(orb, ior, odef, args, policy=policy)))
+        invoke_with_retry(orb, ior, odef, args, policy=policy,
+                          breaker=breaker)))

@@ -1,17 +1,145 @@
-"""Fault injection: crashes, restarts, link cuts, partitions, churn.
+"""Fault injection: crashes, restarts, link cuts, partitions, churn —
+and wire faults (corruption, truncation, duplication, reordering).
 
 The paper demands protocols that "support spurious node failures and
 node disconnections (and re-connections) gracefully" (§2.4.3); this
-module produces exactly those event patterns, deterministically.
+module produces exactly those event patterns, deterministically.  The
+:class:`WireFaultModel` extends the fault vocabulary below the message
+level: real networks do not only *drop* messages, they also deliver
+damaged, repeated and out-of-order ones, and a robust ORB must survive
+every byte pattern such a wire can produce.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.sim.kernel import Environment
 from repro.sim.rng import RngRegistry
 from repro.sim.topology import Topology
+
+
+@dataclass(frozen=True)
+class WireFaultProfile:
+    """Per-link fault rates, each an independent per-message probability.
+
+    ``corrupt`` flips 1..``max_flips`` random bits in the payload,
+    ``truncate`` cuts the payload at a random boundary, ``duplicate``
+    delivers the message a second time ``dup_delay`` later, ``reorder``
+    holds the message back by ``reorder_delay`` so traffic sent after it
+    arrives first.  Corruption and truncation only act on ``bytes``
+    payloads (the ORB's GIOP frames); opaque payloads pass unharmed.
+    """
+
+    corrupt: float = 0.0
+    truncate: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    max_flips: int = 4
+    dup_delay: float = 0.002
+    reorder_delay: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in ("corrupt", "truncate", "duplicate", "reorder"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate {rate} outside [0, 1]")
+        if self.max_flips < 1:
+            raise ValueError("max_flips must be >= 1")
+
+    @property
+    def active(self) -> bool:
+        return (self.corrupt or self.truncate or self.duplicate
+                or self.reorder) > 0
+
+
+class WireFaultModel:
+    """Seeded message-level fault injection, consulted by the Network.
+
+    Install with ``network.wire_faults = WireFaultModel(...)`` (or the
+    Network constructor argument); set a default profile for every link
+    and/or per-link overrides.  Faults compose along a route: a message
+    crossing two lossy links rolls the dice on each.  All randomness
+    comes from one named RNG stream, so a given seed produces the same
+    fault pattern on every run.
+    """
+
+    STREAM = "net.wire_faults"
+
+    def __init__(self, rngs: RngRegistry, metrics,
+                 default: Optional[WireFaultProfile] = None) -> None:
+        self.rng = rngs.stream(self.STREAM)
+        self.metrics = metrics
+        self.default = default
+        self._links: dict[frozenset, WireFaultProfile] = {}
+
+    # -- configuration -----------------------------------------------------
+    def set_default(self, profile: Optional[WireFaultProfile]) -> None:
+        self.default = profile
+
+    def set_link(self, a: str, b: str, profile: WireFaultProfile) -> None:
+        self._links[frozenset((a, b))] = profile
+
+    def clear_link(self, a: str, b: str) -> None:
+        self._links.pop(frozenset((a, b)), None)
+
+    def profile_for(self, link) -> Optional[WireFaultProfile]:
+        return self._links.get(frozenset((link.a, link.b)), self.default)
+
+    # -- application -------------------------------------------------------
+    def apply(self, payload, links) -> list[tuple[object, float]]:
+        """Roll faults for one message crossing *links*.
+
+        Returns the deliveries to schedule as ``(payload, extra_delay)``
+        pairs — usually one, two when duplicated, always at least one
+        (wire faults damage messages; outright loss stays the business
+        of the links' ``loss`` probability).
+        """
+        extra_delay = 0.0
+        duplicated = False
+        dup_delay = 0.0
+        for link in links:
+            profile = self.profile_for(link)
+            if profile is None or not profile.active:
+                continue
+            if profile.corrupt and self.rng.random() < profile.corrupt:
+                mutated = self._flip_bits(payload, profile.max_flips)
+                if mutated is not None:
+                    payload = mutated
+                    self.metrics.counter("net.corrupted.bitflip").inc()
+            if profile.truncate and self.rng.random() < profile.truncate:
+                mutated = self._truncate(payload)
+                if mutated is not None:
+                    payload = mutated
+                    self.metrics.counter("net.corrupted.truncate").inc()
+            if profile.duplicate and self.rng.random() < profile.duplicate:
+                duplicated = True
+                dup_delay = max(dup_delay, profile.dup_delay)
+                self.metrics.counter("net.corrupted.duplicate").inc()
+            if profile.reorder and self.rng.random() < profile.reorder:
+                extra_delay += profile.reorder_delay
+                self.metrics.counter("net.corrupted.reorder").inc()
+        deliveries = [(payload, extra_delay)]
+        if duplicated:
+            deliveries.append((payload, extra_delay + dup_delay))
+        return deliveries
+
+    def _flip_bits(self, payload, max_flips: int) -> Optional[bytes]:
+        if not isinstance(payload, (bytes, bytearray)) or not payload:
+            return None
+        data = bytearray(payload)
+        n_flips = 1 + int(self.rng.integers(0, max_flips))
+        for _ in range(n_flips):
+            pos = int(self.rng.integers(0, len(data)))
+            data[pos] ^= 1 << int(self.rng.integers(0, 8))
+        return bytes(data)
+
+    def _truncate(self, payload) -> Optional[bytes]:
+        if not isinstance(payload, (bytes, bytearray)) or not payload:
+            return None
+        cut = int(self.rng.integers(0, len(payload)))
+        return bytes(payload[:cut])
 
 
 class FaultInjector:

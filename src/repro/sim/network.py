@@ -15,7 +15,10 @@ Failure semantics:
 - if no live route exists at send time, the message is dropped;
 - lossy links drop the message with their loss probability;
 - if the destination host is dead at delivery time, the message is
-  dropped.
+  dropped;
+- an installed :class:`~repro.sim.faults.WireFaultModel` may corrupt,
+  truncate, duplicate or reorder messages per link (``net.corrupted.*``
+  metrics) — the wire is allowed to be hostile, not just lossy.
 
 Higher layers that need reliability (the ORB, the cohesion protocol)
 implement timeouts and retries on top, exactly as TCP/GIOP would.
@@ -23,7 +26,7 @@ implement timeouts and retries on top, exactly as TCP/GIOP would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Optional
 
 from repro.sim.kernel import Environment
@@ -98,6 +101,7 @@ class Network:
         topology: Topology,
         rngs: Optional[RngRegistry] = None,
         metrics: Optional[MetricRegistry] = None,
+        wire_faults=None,
     ) -> None:
         self.env = env
         self.topology = topology
@@ -106,6 +110,10 @@ class Network:
         self._ids = IdGenerator()
         self._interfaces: dict[str, NetworkInterface] = {}
         self._loss_rng = self.rngs.stream("net.loss")
+        #: optional :class:`~repro.sim.faults.WireFaultModel`: when set,
+        #: messages may arrive corrupted, truncated, duplicated or
+        #: reordered.  Assignable after construction as well.
+        self.wire_faults = wire_faults
 
     def interface(self, host_id: str) -> NetworkInterface:
         """Return (creating if needed) the interface for *host_id*."""
@@ -173,7 +181,14 @@ class Network:
 
         self.metrics.counter("net.bytes").inc(total)
         self.metrics.counter("net.hops").inc(len(links))
-        self._schedule_delivery(msg, delay=arrival - self.env.now)
+        base_delay = arrival - self.env.now
+        if self.wire_faults is not None:
+            for payload, extra in self.wire_faults.apply(msg.payload, links):
+                delivery = msg if payload is msg.payload else replace(
+                    msg, payload=payload)
+                self._schedule_delivery(delivery, delay=base_delay + extra)
+            return msg
+        self._schedule_delivery(msg, delay=base_delay)
         return msg
 
     def _charge(self, link, nbytes: int) -> None:

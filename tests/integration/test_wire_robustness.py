@@ -1,0 +1,144 @@
+"""End-to-end wire robustness: hostile links, breakers, healing.
+
+The invariant under test is the paper's §2.4.3 story one level down:
+not only may nodes disappear and reconnect, the wire itself may damage
+what it carries — and the runtime must degrade to retries and breaker
+back-off, never to a crashed handler or a wedged client.
+"""
+
+import pytest
+
+from repro.orb.core import InterfaceDef, Servant, op
+from repro.orb.exceptions import SystemException
+from repro.orb.retry import CircuitBreaker, RetryPolicy, call_with_retry
+from repro.orb.typecodes import tc_long
+from repro.sim.faults import FaultInjector, WireFaultModel, WireFaultProfile
+from repro.testing import star_rig
+
+pytestmark = pytest.mark.faults
+
+IFACE = InterfaceDef("IDL:test/Counter:1.0", "Counter", operations=[
+    op("bump", [("x", tc_long)], tc_long),
+])
+BUMP = IFACE.operations["bump"]
+
+
+class CounterServant(Servant):
+    _interface = IFACE
+
+    def __init__(self):
+        self.calls = 0
+
+    def bump(self, x):
+        self.calls += 1
+        return x + 1
+
+
+def make_rig(seed):
+    rig = star_rig(2, seed=seed)
+    servant = CounterServant()
+    ior = rig.node("h0").orb.adapter("app").activate(servant)
+    client = rig.node("h1").orb
+    return rig, servant, ior, client
+
+
+POLICY = RetryPolicy(attempts=4, timeout=1.0, backoff=0.05,
+                     backoff_factor=2.0, jitter=False)
+
+
+class TestCorruptionSoak:
+    def test_node_keeps_serving_under_2pct_corruption(self):
+        rig, servant, ior, client = make_rig(seed=5)
+        rig.network.wire_faults = WireFaultModel(
+            rig.rngs, rig.metrics,
+            default=WireFaultProfile(corrupt=0.02))
+        correct = answered = 0
+        for i in range(200):
+            try:
+                result = call_with_retry(client, ior, BUMP, (i,),
+                                         policy=POLICY)
+            except SystemException:
+                continue  # all retries ate corrupted frames: acceptable
+            answered += 1
+            if result == i + 1:
+                correct += 1
+        # Availability stays high; a few answers are silently garbled
+        # (a bit flip inside the args still decodes — the model has no
+        # frame checksum, matching GIOP's trust in the transport).
+        assert answered >= 195
+        assert correct >= 190
+        # The wire really was hostile and the handlers really did drop
+        # damaged frames — this is survival, not a clean network.
+        assert rig.metrics.get("net.corrupted.bitflip") > 0
+        assert rig.metrics.get("orb.bad_messages") > 0
+        assert servant.calls >= answered
+
+    def test_duplication_and_reordering_are_harmless(self):
+        rig, servant, ior, client = make_rig(seed=6)
+        rig.network.wire_faults = WireFaultModel(
+            rig.rngs, rig.metrics,
+            default=WireFaultProfile(duplicate=0.1, reorder=0.1,
+                                     reorder_delay=0.01))
+        for i in range(100):
+            assert call_with_retry(client, ior, BUMP, (i,),
+                                   policy=POLICY) == i + 1
+        assert rig.metrics.get("net.corrupted.duplicate") > 0
+        # At-least-once: duplicated requests re-run the servant; late
+        # duplicate replies are dropped by the client's pending table.
+        assert servant.calls >= 100
+
+
+class TestBreakerHealCycle:
+    def test_partitioned_then_corrupted_link_heals(self):
+        rig, servant, ior, client = make_rig(seed=7)
+        hub = rig.observe()
+        injector = FaultInjector(rig.env, rig.topology)
+        faults = WireFaultModel(rig.rngs, rig.metrics)
+        rig.network.wire_faults = faults
+        breaker = CircuitBreaker(client, "h0", failure_threshold=3,
+                                 reset_timeout=5.0)
+
+        # Phase 1: partition.  Three timeouts open the breaker.
+        injector.cut_link("h0", "hub")
+        with pytest.raises(SystemException):
+            call_with_retry(client, ior, BUMP, (1,), policy=POLICY,
+                            breaker=breaker)
+        assert breaker.state == CircuitBreaker.OPEN
+
+        # Phase 2: the link comes back — but damaged.  The half-open
+        # probe dies to corruption and the breaker re-opens.
+        injector.heal_link("h0", "hub")
+        faults.set_link("h0", "hub", WireFaultProfile(corrupt=1.0))
+        rig.run(until=rig.env.timeout(5.0))
+        with pytest.raises(SystemException):
+            call_with_retry(client, ior, BUMP, (2,), policy=POLICY,
+                            breaker=breaker)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert rig.metrics.get("orb.bad_messages") > 0
+
+        # Phase 3: the wire is repaired; the next probe closes the loop.
+        faults.clear_link("h0", "hub")
+        rig.run(until=rig.env.timeout(5.0))
+        assert call_with_retry(client, ior, BUMP, (10,), policy=POLICY,
+                               breaker=breaker) == 11
+        assert breaker.state == CircuitBreaker.CLOSED
+
+        assert [(f, t) for _, f, t in breaker.transitions] == [
+            ("closed", "open"),
+            ("open", "half_open"),
+            ("half_open", "open"),
+            ("open", "half_open"),
+            ("half_open", "closed"),
+        ]
+        # Every transition left a span in the trace stream.
+        breaker_spans = [s.name for s in hub.tracer.spans
+                         if s.name.startswith("breaker:")]
+        assert breaker_spans == [
+            "breaker:closed->open",
+            "breaker:open->half_open",
+            "breaker:half_open->open",
+            "breaker:open->half_open",
+            "breaker:half_open->closed",
+        ]
+        times = [t for t, _, _ in breaker.transitions]
+        assert times == sorted(times)
