@@ -1,16 +1,21 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test selftest bench faults fuzz
+.PHONY: check test selftest lint bench faults fuzz
 
-# The one-stop gate: observability + availability end-to-end selftests,
-# then the full tier-1 unit/integration suite.
-check: selftest test
+# The one-stop gate: descriptor lint, observability + availability +
+# static-gate end-to-end selftests, then the full tier-1 suite.
+check: lint selftest test
+
+# static verification of the shipped IDL + descriptor fixtures
+lint:
+	$(PYTHON) -m repro.tools.lint examples/descriptors
 
 selftest:
 	$(PYTHON) -m repro.tools.obs_report --selftest
 	$(PYTHON) benchmarks/bench_availability.py --selftest
 	$(PYTHON) benchmarks/bench_overload.py --selftest
+	$(PYTHON) benchmarks/bench_lint_gate.py --selftest
 
 test:
 	$(PYTHON) -m pytest -x -q

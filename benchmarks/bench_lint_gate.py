@@ -1,0 +1,253 @@
+"""C16 — runtime failures prevented by the static deployment gate.
+
+Five assemblies, each seeded with one defect the static verifier can
+catch (dangling connection endpoint, interface-incompatible wiring,
+unknown component, missing port, event-kind mismatch), are deployed
+twice: once on a bare :class:`Deployer` and once behind a
+:class:`DeploymentGate`.
+
+Without the gate each defect surfaces — or worse, doesn't — at run
+time: some deployments crash mid-wiring *after* incarnating instances
+(which then leak in their containers, holding reserved resources),
+and the interface-incompatible wiring deploys "successfully", leaving
+a miswired application that no runtime check ever flags.  With the
+gate every broken assembly is rejected before a single instance
+exists, and the one clean control assembly still deploys.
+
+Run ``python benchmarks/bench_lint_gate.py --selftest`` for the
+assertion-only mode wired into ``make check``.
+"""
+
+from _harness import report, stash
+from repro.analysis import AssemblyRejected, DeploymentGate
+from repro.components.executor import ComponentExecutor
+from repro.deployment import Deployer, RuntimePlanner
+from repro.idl import compile_idl
+from repro.orb.core import Servant
+from repro.packaging.binaries import GLOBAL_BINARIES
+from repro.packaging.package import ComponentPackage, PackageBuilder
+from repro.sim.topology import SERVER, star
+from repro.testing import SimRig, counter_package
+from repro.xmlmeta.descriptors import (
+    AssemblyConnection,
+    AssemblyDescriptor,
+    AssemblyInstance,
+    ComponentTypeDescriptor,
+    ImplementationDescriptor,
+    PortDecl,
+    QoSSpec,
+    SoftwareDescriptor,
+)
+from repro.xmlmeta.versions import Version
+
+_STORAGE_IDL = """
+#pragma prefix "corbalc"
+module Demo {
+  interface Storage {
+    void put(in long value);
+  };
+};
+"""
+
+
+STORAGE_IFACE = compile_idl(_STORAGE_IDL).Demo.Storage
+
+
+class _StorageFacet(Servant):
+    _interface = STORAGE_IFACE
+
+    def put(self, value: int) -> None:
+        return None
+
+
+class StorageExecutor(ComponentExecutor):
+    def create_facet(self, port_name: str) -> Servant:
+        return _StorageFacet()
+
+
+def storage_package() -> ComponentPackage:
+    entry = "demo.bench-storage"
+    GLOBAL_BINARIES.register(entry, StorageExecutor)
+    soft = SoftwareDescriptor(
+        name="Storage", version=Version.parse("1.0.0"),
+        vendor="repro-demo",
+        implementations=[ImplementationDescriptor(
+            "*", "*", "*", entry, "bin/any/storage")])
+    comp = ComponentTypeDescriptor(
+        name="Storage",
+        provides=[PortDecl("store", "IDL:corbalc/Demo/Storage:1.0")],
+        qos=QoSSpec(cpu_units=1.0, memory_mb=1.0))
+    builder = PackageBuilder(soft, comp)
+    builder.add_idl("storage", _STORAGE_IDL)
+    builder.add_binary("bin/any/storage", b"\x00" * 64)
+    return ComponentPackage(builder.build())
+
+
+def _two_counters() -> AssemblyDescriptor:
+    return AssemblyDescriptor(
+        name="app",
+        instances=[AssemblyInstance("c1", "Counter"),
+                   AssemblyInstance("c2", "Counter")])
+
+
+def _dangling() -> AssemblyDescriptor:
+    # the descriptor constructor rejects unknown endpoints, but the
+    # lists are plain mutable attributes afterwards
+    asm = _two_counters()
+    asm.connections.append(AssemblyConnection("c1", "peer", "ghost", "value"))
+    return asm
+
+
+def _miswired() -> AssemblyDescriptor:
+    # c1.peer expects Demo::Counter, s1.store provides Demo::Storage —
+    # the runtime wires the IOR anyway and never notices
+    return AssemblyDescriptor(
+        name="app",
+        instances=[AssemblyInstance("c1", "Counter"),
+                   AssemblyInstance("s1", "Storage")],
+        connections=[AssemblyConnection("c1", "peer", "s1", "store")])
+
+
+def _unknown_component() -> AssemblyDescriptor:
+    return AssemblyDescriptor(
+        name="app", instances=[AssemblyInstance("x", "Nonexistent")])
+
+
+def _missing_port() -> AssemblyDescriptor:
+    asm = _two_counters()
+    asm.connections.append(AssemblyConnection("c1", "peer", "c2", "nosuch"))
+    return asm
+
+
+def _event_mismatch() -> AssemblyDescriptor:
+    # pokes consumes demo.poke, ticks emits demo.tick
+    asm = _two_counters()
+    asm.connections.append(
+        AssemblyConnection("c1", "pokes", "c2", "ticks", kind="event"))
+    return asm
+
+
+#: name -> (assembly factory, expected finding code)
+BROKEN = {
+    "dangling endpoint": (_dangling, "ASM004"),
+    "incompatible ifaces": (_miswired, "ASM007"),
+    "unknown component": (_unknown_component, "ASM001"),
+    "missing port": (_missing_port, "ASM005"),
+    "event-kind mismatch": (_event_mismatch, "ASM008"),
+}
+
+
+def _fresh_rig() -> SimRig:
+    rig = SimRig(star(3, hub_profile=SERVER))
+    rig.node("hub").install_package(counter_package(cpu_units=10.0))
+    rig.node("hub").install_package(storage_package())
+    return rig
+
+
+def _attempt(rig: SimRig, gated: bool, assembly: AssemblyDescriptor) -> dict:
+    gate = DeploymentGate() if gated else None
+    dep = Deployer(rig.nodes, RuntimePlanner(), coordinator_host="hub",
+                   gate=gate)
+    outcome: dict = {"rejected": False, "crashed": False, "deployed": False}
+    try:
+        rig.run(until=dep.deploy(assembly))
+        outcome["deployed"] = True
+    except AssemblyRejected as err:
+        outcome["rejected"] = True
+        outcome["codes"] = {f.code for f in err.findings}
+    except Exception:
+        outcome["crashed"] = True
+    outcome["leaked"] = sum(len(node.container) for node in
+                            rig.nodes.values()) if not outcome["deployed"] \
+        else 0
+    outcome["rejections"] = \
+        rig.node("hub").metrics.counter("analysis.rejected").value
+    return outcome
+
+
+def run(gated: bool) -> dict:
+    per_variant = {}
+    for name, (factory, code) in BROKEN.items():
+        result = _attempt(_fresh_rig(), gated, factory())
+        result["expected_code"] = code
+        per_variant[name] = result
+    control = _attempt(_fresh_rig(), gated, AssemblyDescriptor(
+        name="ok",
+        instances=[AssemblyInstance("a", "Counter"),
+                   AssemblyInstance("b", "Counter")],
+        connections=[AssemblyConnection("a", "peer", "b", "value")]))
+    broken = per_variant.values()
+    return {
+        "variants": per_variant,
+        "control_deployed": control["deployed"],
+        "rejected": sum(r["rejected"] for r in broken),
+        "crashed": sum(r["crashed"] for r in broken),
+        "miswired": sum(r["deployed"] for r in broken),
+        "leaked": sum(r["leaked"] for r in broken),
+    }
+
+
+def _check(gate: dict, bare: dict) -> None:
+    assert gate["control_deployed"] and bare["control_deployed"]
+    assert gate["rejected"] == len(BROKEN), gate
+    assert gate["crashed"] == gate["miswired"] == gate["leaked"] == 0, gate
+    for name, result in gate["variants"].items():
+        assert result["expected_code"] in result["codes"], (name, result)
+    assert bare["rejected"] == 0
+    assert bare["crashed"] >= 3, bare      # runtime failures, some late
+    assert bare["miswired"] >= 1, bare     # and one silent miswire
+    assert bare["leaked"] >= 2, bare       # instances stranded mid-deploy
+
+
+def test_gate_prevents_runtime_failures(benchmark, capsys):
+    gate = run(True)
+    bare = run(False)
+    benchmark.pedantic(lambda: run(True), rounds=1, iterations=1)
+    rows = []
+    for name in BROKEN:
+        g, b = gate["variants"][name], bare["variants"][name]
+        bare_fate = ("deployed miswired" if b["deployed"]
+                     else f"crashed, {b['leaked']} leaked" if b["leaked"]
+                     else "crashed")
+        rows.append([name, g["expected_code"], bare_fate,
+                     "rejected pre-incarnation"])
+    report(capsys,
+           "C16: five seeded assembly defects, bare deployer vs static gate",
+           ["defect", "finding", "without gate", "with gate"], rows,
+           note=f"without the gate: {bare['crashed']} mid-deployment "
+                f"crashes leaking {bare['leaked']} instances, "
+                f"{bare['miswired']} silently-miswired deployment; the "
+                "clean control assembly deploys in both configurations")
+    _check(gate, bare)
+    stash(benchmark,
+          defects=len(BROKEN),
+          rejected_by_gate=gate["rejected"],
+          bare_crashes=bare["crashed"],
+          bare_leaked_instances=bare["leaked"],
+          bare_miswired=bare["miswired"])
+
+
+def selftest() -> int:
+    gate = run(True)
+    bare = run(False)
+    _check(gate, bare)
+    print("bench_lint_gate selftest ok: "
+          f"{gate['rejected']}/{len(BROKEN)} defects rejected "
+          f"pre-incarnation (bare deployer: {bare['crashed']} crashes, "
+          f"{bare['leaked']} leaked instances, {bare['miswired']} "
+          "silent miswire)")
+    return 0
+
+
+if __name__ == "__main__":
+    import argparse
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="static-gate failure-prevention benchmark")
+    parser.add_argument("--selftest", action="store_true",
+                        help="run the assertion-only gate (no tables)")
+    args = parser.parse_args()
+    if args.selftest:
+        sys.exit(selftest())
+    parser.error("run via pytest for the full report, or pass --selftest")

@@ -25,6 +25,7 @@ from repro.deployment.planner import (
     RoundRobinPlanner,
     RuntimePlanner,
     StaticPlanner,
+    VerifiedPlanner,
 )
 from repro.deployment.application import Application, Deployer
 from repro.deployment.loadbalancer import LoadBalancer
@@ -39,6 +40,7 @@ __all__ = [
     "StaticPlanner",
     "RandomPlanner",
     "RoundRobinPlanner",
+    "VerifiedPlanner",
     "Application",
     "ApplicationSupervisor",
     "Deployer",

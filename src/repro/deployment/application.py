@@ -222,11 +222,16 @@ class Deployer:
     """Run-time deployment driver over a node population."""
 
     def __init__(self, nodes: dict[str, Node], planner,
-                 coordinator_host: Optional[str] = None) -> None:
+                 coordinator_host: Optional[str] = None,
+                 gate=None) -> None:
         if not nodes:
             raise DeploymentError("no nodes")
         self.nodes = nodes
         self.planner = planner
+        #: optional static-verification gate (duck-typed; see
+        #: repro.analysis.gate.DeploymentGate).  When set, assemblies
+        #: failing verification are rejected before any instance exists.
+        self.gate = gate
         host = coordinator_host or next(iter(nodes))
         self.coordinator = nodes[host]
         self.env = self.coordinator.env
@@ -282,6 +287,11 @@ class Deployer:
         return self.env.process(self._deploy(assembly))
 
     def _deploy(self, assembly: AssemblyDescriptor):
+        if self.gate is not None:
+            # Static verification first: a rejected assembly must not
+            # touch the network — no views, no plan, no incarnations.
+            self.gate.check(assembly, self.nodes,
+                            metrics=self.coordinator.metrics)
         views = yield from self._gather_views()
         qos_of = self._qos_of(assembly)
         placement = self.planner.plan(assembly, views, qos_of)

@@ -58,10 +58,12 @@ class NetworkDeployer(Deployer):
     application is.
     """
 
-    def __init__(self, node, host_ids: list[str], planner=None) -> None:
+    def __init__(self, node, host_ids: list[str], planner=None,
+                 gate=None) -> None:
         self.node = node
         self.host_ids = [h for h in host_ids]
         self.planner = planner or RuntimePlanner()
+        self.gate = gate
         self.coordinator = node
         self.env = node.env
         self.topology = node.network.topology

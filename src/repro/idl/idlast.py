@@ -3,6 +3,10 @@
 Type references are kept symbolic (:class:`NamedType`) until codegen,
 which resolves them against lexical scopes — so forward uses within a
 module and cross-module scoped names (``A::B``) both work.
+
+Declarations carry the 1-based source ``line`` they started on, for the
+static analyzer's findings; it is excluded from equality so structural
+AST comparison (the unparse/parse round-trip property) ignores layout.
 """
 
 from __future__ import annotations
@@ -54,24 +58,28 @@ TypeExpr = Union[PrimitiveType, NamedType, SequenceType, ArrayOf]
 class Member:
     type: TypeExpr
     name: str
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
 class StructDecl:
     name: str
     members: list[Member]
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
 class ExceptionDecl:
     name: str
     members: list[Member]
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
 class EnumDecl:
     name: str
     labels: list[str]
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -86,12 +94,14 @@ class UnionDecl:
     name: str
     discriminator: TypeExpr
     arms: list[UnionArm]
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
 class TypedefDecl:
     name: str
     type: TypeExpr
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -99,6 +109,7 @@ class ConstDecl:
     name: str
     type: TypeExpr
     value: object
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -115,6 +126,7 @@ class OperationDecl:
     params: list[ParamDecl]
     raises: list[NamedType] = field(default_factory=list)
     oneway: bool = False
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -122,6 +134,7 @@ class AttributeDecl:
     name: str
     type: TypeExpr
     readonly: bool = False
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
@@ -129,12 +142,14 @@ class InterfaceDecl:
     name: str
     bases: list[NamedType]
     body: list[object]        # operations, attributes, nested type decls
+    line: int = field(default=0, compare=False)
 
 
 @dataclass
 class ModuleDecl:
     name: str
     body: list[object]
+    line: int = field(default=0, compare=False)
 
 
 @dataclass

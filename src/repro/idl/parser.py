@@ -100,7 +100,7 @@ class _Parser:
         return decl
 
     def _module(self) -> ast.ModuleDecl:
-        self._expect("kw", "module")
+        line = self._expect("kw", "module").line
         name = self._expect_ident()
         self._expect("punct", "{")
         body = []
@@ -112,10 +112,10 @@ class _Parser:
                 continue
             body.append(self._definition())
         self._expect("punct", ";")
-        return ast.ModuleDecl(name=name, body=body)
+        return ast.ModuleDecl(name=name, body=body, line=line)
 
     def _interface(self) -> ast.InterfaceDecl:
-        self._expect("kw", "interface")
+        line = self._expect("kw", "interface").line
         name = self._expect_ident()
         bases: list[ast.NamedType] = []
         if self._accept("punct", ":"):
@@ -132,7 +132,8 @@ class _Parser:
                 continue
             body.append(self._export())
         self._expect("punct", ";")
-        return ast.InterfaceDecl(name=name, bases=bases, body=body)
+        return ast.InterfaceDecl(name=name, bases=bases, body=body,
+                                 line=line)
 
     def _export(self):
         if self._at_kw("struct", "enum", "union", "typedef", "exception",
@@ -161,30 +162,32 @@ class _Parser:
         raise self._error("a declaration")
 
     def _struct(self) -> ast.StructDecl:
-        self._expect("kw", "struct")
+        line = self._expect("kw", "struct").line
         name = self._expect_ident()
         self._expect("punct", "{")
         members = self._members("}")
         self._expect("punct", "}")
-        return ast.StructDecl(name=name, members=members)
+        return ast.StructDecl(name=name, members=members, line=line)
 
     def _exception(self) -> ast.ExceptionDecl:
-        self._expect("kw", "exception")
+        line = self._expect("kw", "exception").line
         name = self._expect_ident()
         self._expect("punct", "{")
         members = self._members("}")
         self._expect("punct", "}")
-        return ast.ExceptionDecl(name=name, members=members)
+        return ast.ExceptionDecl(name=name, members=members, line=line)
 
     def _members(self, closer: str) -> list[ast.Member]:
         members: list[ast.Member] = []
         while not (self._cur.kind == "punct" and self._cur.value == closer):
             if self._cur.kind == EOF:
                 raise self._error(f"{closer!r}")
+            mline = self._cur.line
             mtype = self._type_spec()
             while True:
                 mname, full_type = self._declarator(mtype)
-                members.append(ast.Member(type=full_type, name=mname))
+                members.append(ast.Member(type=full_type, name=mname,
+                                          line=mline))
                 if not self._accept("punct", ","):
                     break
             self._expect("punct", ";")
@@ -201,7 +204,7 @@ class _Parser:
         return name, base
 
     def _enum(self) -> ast.EnumDecl:
-        self._expect("kw", "enum")
+        line = self._expect("kw", "enum").line
         name = self._expect_ident()
         self._expect("punct", "{")
         labels = [self._expect_ident()]
@@ -210,10 +213,10 @@ class _Parser:
                 break  # trailing comma
             labels.append(self._expect_ident())
         self._expect("punct", "}")
-        return ast.EnumDecl(name=name, labels=labels)
+        return ast.EnumDecl(name=name, labels=labels, line=line)
 
     def _union(self) -> ast.UnionDecl:
-        self._expect("kw", "union")
+        line = self._expect("kw", "union").line
         name = self._expect_ident()
         self._expect("kw", "switch")
         self._expect("punct", "(")
@@ -240,10 +243,14 @@ class _Parser:
             aname, full_type = self._declarator(atype)
             self._expect("punct", ";")
             arms.append(ast.UnionArm(labels=labels, type=full_type, name=aname))
-        return ast.UnionDecl(name=name, discriminator=disc, arms=arms)
+        return ast.UnionDecl(name=name, discriminator=disc, arms=arms,
+                             line=line)
 
     def _case_label(self):
         tok = self._cur
+        if tok.kind == "punct" and tok.value == "-":
+            self._advance()
+            return -self._int_literal()
         if tok.kind == "int":
             self._advance()
             return int(tok.value, 0)
@@ -259,18 +266,18 @@ class _Parser:
         raise self._error("a case label")
 
     def _typedef(self) -> ast.TypedefDecl:
-        self._expect("kw", "typedef")
+        line = self._expect("kw", "typedef").line
         base = self._type_spec()
         name, full_type = self._declarator(base)
-        return ast.TypedefDecl(name=name, type=full_type)
+        return ast.TypedefDecl(name=name, type=full_type, line=line)
 
     def _const(self) -> ast.ConstDecl:
-        self._expect("kw", "const")
+        line = self._expect("kw", "const").line
         ctype = self._type_spec()
         name = self._expect_ident()
         self._expect("punct", "=")
         value = self._const_value()
-        return ast.ConstDecl(name=name, type=ctype, value=value)
+        return ast.ConstDecl(name=name, type=ctype, value=value, line=line)
 
     def _const_value(self):
         tok = self._cur
@@ -303,6 +310,7 @@ class _Parser:
 
     # -- interface members --------------------------------------------------------
     def _attribute(self) -> ast.AttributeDecl:
+        line = self._cur.line
         readonly = self._accept("kw", "readonly") is not None
         self._expect("kw", "attribute")
         atype = self._type_spec()
@@ -315,15 +323,18 @@ class _Parser:
             names.append(self._expect_ident())
         self._expect("punct", ";")
         if len(names) == 1:
-            return ast.AttributeDecl(name=name, type=atype, readonly=readonly)
+            return ast.AttributeDecl(name=name, type=atype, readonly=readonly,
+                                     line=line)
         # Represent multi-declarator attributes as a synthetic module-less
         # list; the caller flattens.
         return _MultiAttribute(
-            [ast.AttributeDecl(name=n, type=atype, readonly=readonly)
+            [ast.AttributeDecl(name=n, type=atype, readonly=readonly,
+                               line=line)
              for n in names]
         )
 
     def _operation(self) -> ast.OperationDecl:
+        line = self._cur.line
         oneway = self._accept("kw", "oneway") is not None
         if self._accept("kw", "void"):
             result: Optional[ast.TypeExpr] = None
@@ -355,7 +366,7 @@ class _Parser:
             self._expect("punct", ")")
         self._expect("punct", ";")
         return ast.OperationDecl(name=name, result=result, params=params,
-                                 raises=raises, oneway=oneway)
+                                 raises=raises, oneway=oneway, line=line)
 
     # -- types -------------------------------------------------------------------
     def _type_spec(self) -> ast.TypeExpr:

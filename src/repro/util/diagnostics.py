@@ -1,0 +1,55 @@
+"""Typed findings shared by every static-analysis layer.
+
+A :class:`Finding` is one diagnostic a checker produced: a stable code
+(``IDL005``, ``ASM007``...), a severity, a location string pointing at
+the offending source ("demo.idl:12", "/softpkg/license",
+"assembly app, connection i0.peer -> i1.value"), and a human message.
+
+This lives in :mod:`repro.util` (not :mod:`repro.analysis`) so that
+low-level modules — the XML schema validator, descriptor parsing — can
+report structured violations without importing the analysis package
+that itself builds on them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Severity(enum.IntEnum):
+    """Finding severities; the numeric value is the lint exit code."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # 'error', not 'Severity.ERROR'
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic produced by a static check."""
+
+    code: str
+    severity: Severity
+    location: str
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": str(self.severity),
+            "location": self.location,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        where = f"{self.location}: " if self.location else ""
+        return f"{str(self.severity):7s} {self.code} {where}{self.message}"
+
+
+def max_severity(findings) -> int:
+    """Highest severity in *findings* as an int (0 when empty)."""
+    return max((int(f.severity) for f in findings), default=0)

@@ -5,19 +5,44 @@ Type Definitions (DTDs) describing those files are based upon the ...
 Open Software Descriptor DTD" (§2.1.1).  This module provides the
 equivalent validation: each :class:`ElementSpec` constrains an element's
 attributes and children with DTD-like cardinalities.
+
+Validation collects *every* violation in one pass — each as a
+:class:`~repro.util.diagnostics.Finding` (code ``SCH001``, location =
+the element path) — so one run reports everything wrong with a
+document.  :func:`validate_element` then raises a single
+:class:`SchemaError` carrying all of them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 from xml.etree import ElementTree as ET
 
+from repro.util.diagnostics import Finding, Severity
 from repro.util.errors import ValidationError
+
+#: Finding code for every schema-level violation.
+SCHEMA_VIOLATION = "SCH001"
 
 
 class SchemaError(ValidationError):
-    """An XML document violated its descriptor schema."""
+    """An XML document violated its descriptor schema.
+
+    ``findings`` holds one :class:`Finding` per violation; the message
+    joins them so callers matching on substrings keep working.
+    """
+
+    def __init__(self, message_or_findings) -> None:
+        if isinstance(message_or_findings, str):
+            findings = [Finding(code=SCHEMA_VIOLATION,
+                                severity=Severity.ERROR, location="",
+                                message=message_or_findings)]
+        else:
+            findings = list(message_or_findings)
+        self.findings = findings
+        super().__init__("; ".join(
+            (f"{f.location}: {f.message}" if f.location else f.message)
+            for f in findings))
 
 
 #: Cardinality markers, DTD style.
@@ -50,41 +75,68 @@ class ElementSpec:
         return self
 
 
-def validate_element(element: ET.Element, spec: ElementSpec,
-                     path: str = "") -> None:
-    """Validate *element* against *spec*; raises :class:`SchemaError`."""
+def collect_violations(element: ET.Element, spec: ElementSpec,
+                       path: str = "") -> list[Finding]:
+    """Every schema violation in *element*'s subtree, none fatal.
+
+    Locations are element paths (``/softpkg/license``); a tag mismatch
+    stops descent below that element (its children cannot be judged
+    against a spec that does not describe them) but sibling subtrees
+    are still checked.
+    """
     where = f"{path}/{element.tag}"
+    found: list[Finding] = []
+
+    def violation(message: str) -> None:
+        found.append(Finding(code=SCHEMA_VIOLATION, severity=Severity.ERROR,
+                             location=where, message=message))
+
     if element.tag != spec.tag:
-        raise SchemaError(f"{where}: expected element <{spec.tag}>")
+        violation(f"expected element <{spec.tag}>")
+        return found
 
     allowed = set(spec.required_attrs) | set(spec.optional_attrs)
     for attr in element.attrib:
         if attr not in allowed:
-            raise SchemaError(f"{where}: unexpected attribute {attr!r}")
+            violation(f"unexpected attribute {attr!r}")
     for attr in spec.required_attrs:
         if attr not in element.attrib:
-            raise SchemaError(f"{where}: missing attribute {attr!r}")
+            violation(f"missing attribute {attr!r}")
 
     if not spec.text and element.text and element.text.strip():
-        raise SchemaError(f"{where}: character content not allowed")
+        violation("character content not allowed")
 
     counts: dict[str, int] = {}
     for child in element:
         entry = spec.children.get(child.tag)
         if entry is None:
-            raise SchemaError(f"{where}: unexpected child <{child.tag}>")
+            violation(f"unexpected child <{child.tag}>")
+            continue
         child_spec, _card = entry
-        validate_element(child, child_spec, where)
+        found.extend(collect_violations(child, child_spec, where))
         counts[child.tag] = counts.get(child.tag, 0) + 1
 
     for tag, (_spec, card) in spec.children.items():
         n = counts.get(tag, 0)
         if card == ONE and n != 1:
-            raise SchemaError(f"{where}: needs exactly one <{tag}>, got {n}")
+            violation(f"needs exactly one <{tag}>, got {n}")
         if card == OPT and n > 1:
-            raise SchemaError(f"{where}: at most one <{tag}>, got {n}")
+            violation(f"at most one <{tag}>, got {n}")
         if card == SOME and n < 1:
-            raise SchemaError(f"{where}: needs at least one <{tag}>")
+            violation(f"needs at least one <{tag}>")
+    return found
+
+
+def validate_element(element: ET.Element, spec: ElementSpec,
+                     path: str = "") -> None:
+    """Validate *element* against *spec*.
+
+    Raises one :class:`SchemaError` carrying *all* violations (on its
+    ``findings`` attribute) rather than stopping at the first.
+    """
+    found = collect_violations(element, spec, path)
+    if found:
+        raise SchemaError(found)
 
 
 def parse_and_validate(xml_text: str, spec: ElementSpec) -> ET.Element:

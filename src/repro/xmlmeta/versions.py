@@ -75,6 +75,43 @@ class VersionRange:
                 return False
         return True
 
+    def is_empty(self) -> bool:
+        """True iff no version at all can satisfy the conjunction.
+
+        Versions are discrete triples, so an exclusive lower bound
+        ``> x.y.z`` is normalised to the inclusive ``>= x.y.(z+1)``
+        before comparing against the tightest upper bound; equality
+        constraints reduce to membership of that single version.
+        """
+        eqs = [bound for oper, bound in self._constraints if oper == "=="]
+        if eqs:
+            return not self.matches(eqs[0])
+        lo = None           # tightest inclusive lower bound
+        hi = None           # (tightest upper bound, inclusive?)
+        for oper, bound in self._constraints:
+            if oper in (">=", ">"):
+                eff = bound if oper == ">=" else Version(
+                    bound.major, bound.minor, bound.patch + 1)
+                if lo is None or eff > lo:
+                    lo = eff
+            else:
+                incl = oper == "<="
+                if hi is None or bound < hi[0] or (bound == hi[0]
+                                                   and not incl):
+                    hi = (bound, incl)
+        if lo is None or hi is None:
+            return False
+        bound, incl = hi
+        return lo > bound or (lo == bound and not incl)
+
+    def intersect(self, other: "VersionRange") -> "VersionRange":
+        """The range satisfied by exactly the versions both accept."""
+        if not self.text:
+            return VersionRange(other.text)
+        if not other.text:
+            return VersionRange(self.text)
+        return VersionRange(f"{self.text}, {other.text}")
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, VersionRange) and self.text == other.text
 

@@ -59,9 +59,80 @@ def _enums(draw, used_names):
 
 
 @st.composite
-def _interfaces(draw, used_names):
+def _exceptions(draw, used_names):
     name = draw(_idents.filter(lambda n: n not in used_names))
     used_names.add(name)
+    member_names = draw(st.lists(_idents, min_size=1, max_size=3,
+                                 unique=True))
+    members = [ast.Member(type=draw(_types()), name=m)
+               for m in member_names]
+    return ast.ExceptionDecl(name=name, members=members)
+
+
+@st.composite
+def _typedefs(draw, used_names):
+    name = draw(_idents.filter(lambda n: n not in used_names))
+    used_names.add(name)
+    base = draw(_types())
+    if draw(st.booleans()):
+        dims = tuple(draw(st.lists(st.integers(1, 4), min_size=1,
+                                   max_size=2)))
+        base = ast.ArrayOf(element=base, dims=dims)
+    return ast.TypedefDecl(name=name, type=base)
+
+
+@st.composite
+def _consts(draw, used_names):
+    name = draw(_idents.filter(lambda n: n not in used_names))
+    used_names.add(name)
+    ctype, value = draw(st.one_of(
+        st.tuples(st.just(ast.PrimitiveType("long")),
+                  st.integers(0, 10_000)),
+        st.tuples(st.just(ast.PrimitiveType("boolean")), st.booleans()),
+        st.tuples(st.just(ast.PrimitiveType("string")),
+                  st.from_regex(r"[A-Za-z0-9 ]{0,12}", fullmatch=True)),
+    ))
+    return ast.ConstDecl(name=name, type=ctype, value=value)
+
+
+@st.composite
+def _unions(draw, used_names):
+    """Unions over every legal discriminator family, including
+    negative integer labels and an optional default arm."""
+    name = draw(_idents.filter(lambda n: n not in used_names))
+    used_names.add(name)
+    family = draw(st.sampled_from(["int", "bool", "char"]))
+    if family == "int":
+        disc = ast.PrimitiveType(draw(st.sampled_from(["long", "short"])))
+        labels = draw(st.lists(st.integers(-8, 8), min_size=1,
+                               max_size=4, unique=True))
+    elif family == "bool":
+        disc = ast.PrimitiveType("boolean")
+        labels = draw(st.lists(st.booleans(), min_size=1, max_size=2,
+                               unique=True))
+    else:
+        disc = ast.PrimitiveType("char")
+        labels = draw(st.lists(st.sampled_from(list("+-@#%")),
+                               min_size=1, max_size=3, unique=True))
+    arm_names = draw(st.lists(_idents, min_size=len(labels),
+                              max_size=len(labels), unique=True))
+    arms = [ast.UnionArm(labels=[label], type=draw(_types()), name=an)
+            for label, an in zip(labels, arm_names)]
+    if draw(st.booleans()):
+        default_name = draw(_idents.filter(
+            lambda n: n not in set(arm_names)))
+        arms.append(ast.UnionArm(labels=[None], type=draw(_types()),
+                                 name=default_name))
+    return ast.UnionDecl(name=name, discriminator=disc, arms=arms)
+
+
+@st.composite
+def _interfaces(draw, used_names, base_pool=(), exception_pool=()):
+    name = draw(_idents.filter(lambda n: n not in used_names))
+    used_names.add(name)
+    bases = [ast.NamedType((b,)) for b in draw(st.lists(
+        st.sampled_from(sorted(base_pool)), max_size=2, unique=True))
+    ] if base_pool else []
     ops = []
     op_names = draw(st.lists(_idents, min_size=0, max_size=3,
                              unique=True))
@@ -75,27 +146,56 @@ def _interfaces(draw, used_names):
                           type=draw(_types()), name=p)
             for p in param_names
         ]
-        oneway = (draw(st.booleans())
+        raises = [ast.NamedType((e,)) for e in draw(st.lists(
+            st.sampled_from(sorted(exception_pool)), max_size=2,
+            unique=True))] if exception_pool else []
+        oneway = (draw(st.booleans()) and not raises
                   and all(p.mode == "in" for p in params))
         result = None if oneway else draw(
             st.one_of(st.none(), _types()))
         ops.append(ast.OperationDecl(name=op_name, result=result,
-                                     params=params, oneway=oneway))
+                                     params=params, raises=raises,
+                                     oneway=oneway))
     attr_names = draw(st.lists(
         _idents.filter(lambda n: n not in set(op_names)),
         min_size=0, max_size=2, unique=True))
     attrs = [ast.AttributeDecl(name=a, type=draw(_types()),
                                readonly=draw(st.booleans()))
              for a in attr_names]
-    return ast.InterfaceDecl(name=name, bases=[], body=ops + attrs)
+    return ast.InterfaceDecl(name=name, bases=bases, body=ops + attrs)
+
+
+@st.composite
+def _modules(draw, used_names):
+    name = draw(_idents.filter(lambda n: n not in used_names))
+    used_names.add(name)
+    inner_used: set[str] = set()
+    body = draw(st.lists(
+        st.one_of(_structs(inner_used), _enums(inner_used),
+                  _unions(inner_used), _typedefs(inner_used)),
+        min_size=1, max_size=3))
+    return ast.ModuleDecl(name=name, body=body)
 
 
 @st.composite
 def _specs(draw):
     used: set[str] = set()
-    definitions = draw(st.lists(
-        st.one_of(_structs(used), _enums(used), _interfaces(used)),
-        min_size=1, max_size=5))
+    definitions = list(draw(st.lists(
+        st.one_of(_structs(used), _enums(used), _unions(used),
+                  _typedefs(used), _consts(used), _exceptions(used)),
+        min_size=0, max_size=4)))
+    exception_pool = [d.name for d in definitions
+                      if isinstance(d, ast.ExceptionDecl)]
+    iface_pool: list[str] = []
+    for _ in range(draw(st.integers(0, 3))):
+        iface = draw(_interfaces(used, base_pool=iface_pool,
+                                 exception_pool=exception_pool))
+        iface_pool.append(iface.name)
+        definitions.append(iface)
+    if draw(st.booleans()):
+        definitions.append(draw(_modules(used)))
+    if not definitions:
+        definitions.append(draw(_structs(used)))
     prefix = draw(st.sampled_from(["", "omg.org", "acme"]))
     return ast.Specification(definitions=definitions, prefix=prefix)
 
@@ -118,6 +218,24 @@ def test_unparsed_idl_compiles(spec):
                          ifr=InterfaceRepository())
     for node in spec.definitions:
         assert node.name in module
+
+
+def test_negative_case_labels_roundtrip():
+    """Regression: unparse renders ``case -1:`` which the parser used
+    to reject (it only accepted bare integer tokens)."""
+    spec = ast.Specification(definitions=[
+        ast.UnionDecl(
+            name="Signed",
+            discriminator=ast.PrimitiveType("long"),
+            arms=[
+                ast.UnionArm(labels=[-1], type=ast.PrimitiveType("long"),
+                             name="neg"),
+                ast.UnionArm(labels=[0, 1], type=ast.PrimitiveType("short"),
+                             name="small"),
+            ])])
+    again = parse(unparse(spec))
+    assert again.definitions == spec.definitions
+    assert again.definitions[0].arms[0].labels == [-1]
 
 
 def test_unparse_known_sample_matches_parse():

@@ -1,0 +1,100 @@
+"""Schema validation reports *all* violations, as Finding objects."""
+
+from xml.etree import ElementTree as ET
+
+import pytest
+
+from repro.util.diagnostics import Finding, Severity
+from repro.xmlmeta.descriptors import (
+    ComponentTypeDescriptor,
+    SoftwareDescriptor,
+)
+from repro.xmlmeta.schema import (
+    ElementSpec,
+    MANY,
+    ONE,
+    OPT,
+    SchemaError,
+    collect_violations,
+    validate_element,
+)
+
+SPEC = (
+    ElementSpec("root", required_attrs=("name",))
+    .child(ElementSpec("leaf", required_attrs=("id",)), MANY)
+    .child(ElementSpec("unique"), ONE)
+)
+
+
+def violations(xml_text):
+    return collect_violations(ET.fromstring(xml_text), SPEC)
+
+
+class TestCollectViolations:
+    def test_clean_document(self):
+        assert violations('<root name="x"><unique/></root>') == []
+
+    def test_reports_every_violation_not_just_first(self):
+        found = violations(
+            '<root extra="1">'            # unexpected + missing name
+            '<leaf/>'                     # missing id
+            '<mystery/>'                  # unexpected child
+            '</root>')                    # and: missing <unique>
+        messages = [f.message for f in found]
+        assert len(found) == 5
+        assert any("unexpected attribute" in m for m in messages)
+        assert any("missing attribute 'name'" in m for m in messages)
+        assert any("missing attribute 'id'" in m for m in messages)
+        assert any("unexpected child" in m for m in messages)
+        assert any("exactly one" in m for m in messages)
+
+    def test_locations_are_element_paths(self):
+        found = violations('<root name="x"><unique/><leaf/></root>')
+        assert [f.location for f in found] == ["/root/leaf"]
+
+    def test_findings_shape(self):
+        found = violations("<root><unique/></root>")
+        finding = found[0]
+        assert isinstance(finding, Finding)
+        assert finding.code == "SCH001"
+        assert finding.severity == Severity.ERROR
+
+    def test_nested_violations_collected_from_subtrees(self):
+        found = violations(
+            '<root name="x"><unique/><leaf/><leaf/></root>')
+        assert len(found) == 2
+        assert all(f.location == "/root/leaf" for f in found)
+
+
+class TestValidateElement:
+    def test_raises_with_all_findings_attached(self):
+        with pytest.raises(SchemaError) as err:
+            validate_element(ET.fromstring("<root><leaf/></root>"), SPEC)
+        assert len(err.value.findings) == 3
+        assert "missing attribute 'name'" in str(err.value)
+        assert "exactly one" in str(err.value)
+
+    def test_clean_element_passes(self):
+        validate_element(ET.fromstring('<root name="x"><unique/></root>'),
+                         SPEC)
+
+
+class TestDescriptorIntegration:
+    def test_softpkg_error_reports_all_problems_at_once(self):
+        # missing 'vendor' attr AND missing <distribution> in one raise
+        with pytest.raises(SchemaError) as err:
+            SoftwareDescriptor.from_xml(
+                '<softpkg name="X" version="1.0.0">'
+                '<license model="free"/></softpkg>')
+        assert len(err.value.findings) == 2
+
+    def test_componenttype_paths_point_at_offender(self):
+        with pytest.raises(SchemaError) as err:
+            ComponentTypeDescriptor.from_xml(
+                '<componenttype name="X" lifecycle="session">'
+                '<provides name="p"/>'
+                '<qos cpu="1" memory="1" bandwidth="0"/>'
+                "</componenttype>")
+        (finding,) = err.value.findings
+        assert finding.location == "/componenttype/provides"
+        assert "repoid" in finding.message
