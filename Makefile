@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test selftest lint bench faults fuzz
+.PHONY: check test selftest lint bench bench-orb faults fuzz
 
 # The one-stop gate: descriptor lint, observability + availability +
 # static-gate end-to-end selftests, then the full tier-1 suite.
@@ -16,6 +16,7 @@ selftest:
 	$(PYTHON) benchmarks/bench_availability.py --selftest
 	$(PYTHON) benchmarks/bench_overload.py --selftest
 	$(PYTHON) benchmarks/bench_lint_gate.py --selftest
+	$(PYTHON) benchmarks/bench_orb_floor.py --selftest
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -30,3 +31,7 @@ fuzz:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+# regenerate BENCH_orb.json (ORB codec/dispatch microbenchmarks)
+bench-orb:
+	$(PYTHON) benchmarks/bench_to_json.py

@@ -52,7 +52,23 @@ def run_benchmarks() -> dict:
         return json.loads(raw.read_text())
 
 
-def distill(raw: dict) -> dict:
+def load_history() -> list:
+    """Prior `current` blocks, oldest first, so every regeneration keeps
+    the optimisation trail (interpreter -> plans -> generated source)."""
+    if not OUT.exists():
+        return []
+    try:
+        prior = json.loads(OUT.read_text())
+    except (json.JSONDecodeError, OSError):
+        return []
+    history = list(prior.get("history", []))
+    current = prior.get("current")
+    if current:
+        history.append({"generated": prior.get("generated"), **current})
+    return history
+
+
+def distill(raw: dict, history: list) -> dict:
     by_name = {}
     for bench in raw.get("benchmarks", []):
         name = bench["name"].split("[")[0]
@@ -68,8 +84,9 @@ def distill(raw: dict) -> dict:
     invocation = by_name.get("test_invocation_wall_cost", {})
 
     current = {
-        "label": "compiled codec plans",
+        "label": "generated source codecs",
         "cdr_marshal_MB_per_s": marshal.get("mb_per_s"),
+        "cdr_unmarshal_MB_per_s": unmarshal.get("mb_per_s"),
         "cdr_marshal_us_per_100_values": (
             marshal["mean_s"] * 1e6 if marshal else None),
         "cdr_unmarshal_us_per_100_values": (
@@ -78,6 +95,12 @@ def distill(raw: dict) -> dict:
         "calls_per_sec": (
             1e6 / invocation["per_call_us"]
             if invocation.get("per_call_us") else None),
+    }
+    codegen = {
+        "cache_hits": invocation.get("codegen_cache_hits"),
+        "cache_misses": invocation.get("codegen_cache_misses"),
+        "encode_calls_per_bench": invocation.get("codegen_encode_calls"),
+        "decode_calls_per_bench": invocation.get("codegen_decode_calls"),
     }
 
     def ratio(key):
@@ -92,6 +115,8 @@ def distill(raw: dict) -> dict:
             "brand_raw", "unknown"),
         "baseline": BASELINE,
         "current": current,
+        "codegen": codegen,
+        "history": history,
         "speedup": {
             "cdr_marshal": ratio("cdr_marshal_MB_per_s"),
             "calls_per_sec": ratio("calls_per_sec"),
@@ -101,7 +126,7 @@ def distill(raw: dict) -> dict:
 
 
 def main() -> int:
-    result = distill(run_benchmarks())
+    result = distill(run_benchmarks(), load_history())
     OUT.write_text(json.dumps(result, indent=2) + "\n")
     speed = result["speedup"]
     print(f"wrote {OUT}")

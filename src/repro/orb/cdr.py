@@ -203,14 +203,17 @@ class CDRDecoder:
 
     def read_string(self) -> str:
         length = self.read_ulong()
-        if self._pos + length > len(self._buf):
+        buf = self._buf
+        pos = self._pos
+        stop = pos + length
+        if stop > len(buf):
             raise BAD_PARAM("CDR underflow reading string")
-        raw = bytes(self._buf[self._pos:self._pos + length])
-        self._pos += length
-        if not raw.endswith(b"\x00"):
+        if length == 0 or buf[stop - 1]:
             raise BAD_PARAM("string not NUL-terminated")
+        self._pos = stop
         try:
-            return raw[:-1].decode("utf-8")
+            # Decode straight from the memoryview slice — no bytes copy.
+            return str(buf[pos:stop - 1], "utf-8")
         except UnicodeDecodeError as exc:
             # A corrupted wire must surface as a SystemException, never
             # as a raw Python error escaping the decoder.

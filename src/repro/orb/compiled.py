@@ -28,6 +28,7 @@ values back, matching ``BAD_PARAM`` on bad input — is enforced by
 from __future__ import annotations
 
 import struct as _struct
+from collections import OrderedDict
 from typing import Callable, Optional
 
 from repro.orb import cdr as _cdr
@@ -62,7 +63,8 @@ class CodecPlan:
     depth depends on the value (contains ``Any``).
     """
 
-    __slots__ = ("tc", "encode", "decode", "fixed", "static_depth", "dynamic")
+    __slots__ = ("tc", "encode", "decode", "fixed", "static_depth", "dynamic",
+                 "tier")
 
     def __init__(self, tc: TypeCode,
                  encode: Callable[[CDREncoder, object], None],
@@ -75,9 +77,11 @@ class CodecPlan:
         self.fixed = fixed
         self.static_depth = static_depth
         self.dynamic = dynamic
+        self.tier = "plan"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"<CodecPlan {self.tc!r} depth={self.static_depth}>"
+        return f"<CodecPlan {self.tc!r} depth={self.static_depth} " \
+               f"tier={self.tier}>"
 
 
 # -- fixed-size leaf model ----------------------------------------------------
@@ -357,13 +361,17 @@ def _string_codec():
             )
         (length,) = _ULONG.unpack_from(buf, pos)
         pos += 4
-        if pos + length > end:
+        stop = pos + length
+        if stop > end:
             raise BAD_PARAM("CDR underflow reading string")
-        raw = bytes(buf[pos:pos + length])
-        dec._pos = pos + length
-        if not raw.endswith(b"\x00"):
+        if length == 0 or buf[stop - 1]:
             raise BAD_PARAM("string not NUL-terminated")
-        return raw[:-1].decode("utf-8")
+        dec._pos = stop
+        try:
+            # Decode straight from the memoryview slice — no bytes copy.
+            return str(buf[pos:stop - 1], "utf-8")
+        except UnicodeDecodeError as exc:
+            raise MARSHAL(f"invalid UTF-8 in string: {exc}") from None
 
     return encode, decode
 
@@ -398,28 +406,51 @@ def _octetseq_codec():
     return encode, decode
 
 
-def _batched_elems_codec(tc: TypeCode, fixed, bound: int,
-                         with_count: bool, fixed_count: int = 0):
-    """Batch a fixed-size element type: one pack/unpack for all items.
+#: Batch-format cache capacity per batcher (LRU-evicted, never cleared
+#: wholesale, so hot (residue, count) formats survive diverse workloads).
+_BATCH_CACHE_MAX = 128
 
-    ``with_count`` selects sequence framing (ulong count prefix) versus
-    array framing (exactly ``fixed_count`` items, no prefix).
+
+def make_batcher(leaves, lead_ulong: bool = False):
+    """Return ``batch_struct(r0, n) -> Struct`` for a fixed leaf run.
+
+    The returned callable builds (and LRU-caches, keyed by start residue
+    and element count) one big-endian Struct packing *n* repetitions of
+    the leaf run starting at stream residue ``r0`` (mod 8), with
+    alignment gaps folded in as ``x`` pad fields.  With ``lead_ulong``
+    the format is prefixed by a 4-aligned ulong (the sequence count), so
+    count and elements marshal in a single ``pack``.
+
+    The cache is exposed as ``batch_struct.cache`` for tests.
     """
-    leaves, flatten, unflatten = fixed
-    nleaves = len(leaves)
-    min_elem = sum(size for _ch, size, _a in leaves)
     elem_variants = _variant_fmts(leaves)
     consumed = [c for _f, c in elem_variants]
-    fmt_cache: dict[tuple[int, int], _struct.Struct] = {}
+    cache: OrderedDict[tuple[int, int], _struct.Struct] = OrderedDict()
+    last_key: Optional[tuple[int, int]] = None
+    last_st: Optional[_struct.Struct] = None
 
-    def _batch_struct(r0: int, n: int) -> _struct.Struct:
-        st = fmt_cache.get((r0, n))
+    def batch_struct(r0: int, n: int) -> _struct.Struct:
+        nonlocal last_key, last_st
+        key = (r0, n)
+        # Single-entry memo: steady-state callers hit one (residue,
+        # count) shape, skipping the LRU bookkeeping entirely.
+        if key == last_key:
+            return last_st
+        st = cache.get(key)
         if st is not None:
+            cache.move_to_end(key)
+            last_key, last_st = key, st
             return st
         # Element layout depends on the start residue; walk the residue
         # chain, collapsing as soon as it reaches a fixed point.
         parts = []
         r = r0
+        if lead_ulong:
+            pad = (-r0) & 3
+            if pad:
+                parts.append("x" if pad == 1 else "%dx" % pad)
+            parts.append("I")
+            r = (r0 + pad + 4) & 7
         remaining = n
         while remaining:
             fmt = elem_variants[r][0]
@@ -431,10 +462,26 @@ def _batched_elems_codec(tc: TypeCode, fixed, bound: int,
             remaining -= 1
             r = r2
         st = _struct.Struct(">" + "".join(parts))
-        if len(fmt_cache) >= 128:
-            fmt_cache.clear()
-        fmt_cache[(r0, n)] = st
+        if len(cache) >= _BATCH_CACHE_MAX:
+            cache.popitem(last=False)
+        cache[key] = st
+        last_key, last_st = key, st
         return st
+
+    batch_struct.cache = cache
+    return batch_struct
+
+
+def _batched_elems_codec(tc: TypeCode, fixed, bound: int,
+                         with_count: bool, fixed_count: int = 0):
+    """Batch a fixed-size element type: one pack/unpack for all items.
+
+    ``with_count`` selects sequence framing (ulong count prefix) versus
+    array framing (exactly ``fixed_count`` items, no prefix).
+    """
+    leaves, flatten, unflatten = fixed
+    min_elem = sum(size for _ch, size, _a in leaves)
+    _batch_struct = make_batcher(leaves)
 
     def encode(enc: CDREncoder, value) -> None:
         items = value if isinstance(value, list) else list(value)
@@ -883,6 +930,33 @@ def _contains_any(tc: TypeCode, _depth: int = 0) -> bool:
 
 # -- plan cache ---------------------------------------------------------------
 
+#: When enabled, plans cached by :func:`get_plan` are upgraded to the
+#: generated-source tier (repro.orb.codegen) where the TypeCode
+#: supports it; the closure-based plan stays the fallback and
+#: :func:`compile_plan` always returns the pure plan tier.
+_CODEGEN = True
+
+
+def set_codegen(enabled: bool) -> None:
+    """Toggle the generated-source tier (tests); drops cached plans."""
+    global _CODEGEN
+    _CODEGEN = bool(enabled)
+    clear_cache()
+
+
+def codegen_enabled() -> bool:
+    return _CODEGEN
+
+
+def _attach_codegen(tc: TypeCode, plan: CodecPlan) -> None:
+    # Deferred import: codegen depends on this module's leaf model.
+    from repro.orb import codegen
+    pair = codegen.generate(tc)
+    if pair is not None:
+        plan.encode, plan.decode = pair
+        plan.tier = "codegen"
+
+
 _CACHE_MAX = 4096
 #: id(tc) -> (tc, plan); holding tc keeps the id stable.
 _ID_CACHE: dict[int, tuple[TypeCode, CodecPlan]] = {}
@@ -910,6 +984,8 @@ def get_plan(tc: TypeCode) -> CodecPlan:
         stats["misses"] += 1
         stats["compiled"] += 1
         plan = _compile(tc, 0)
+        if _CODEGEN:
+            _attach_codegen(tc, plan)
         _EQ_CACHE[tc] = plan
     else:
         stats["hits"] += 1
@@ -934,13 +1010,21 @@ def cache_size() -> int:
 class OperationCodec:
     """Pre-resolved plans for one OperationDef's request/reply bodies."""
 
-    __slots__ = ("in_plans", "out_plans", "result_plan", "result_void")
+    __slots__ = ("in_plans", "out_plans", "result_plan", "result_void",
+                 "in1_encode", "in1_decode", "result_decode")
 
     def __init__(self, odef) -> None:
         self.in_plans = tuple(get_plan(p.tc) for p in odef.in_params())
         self.out_plans = tuple(get_plan(p.tc) for p in odef.out_params())
         self.result_plan = get_plan(odef.result)
         self.result_void = odef.result.kind is TCKind.VOID
+        # Single-in-parameter operations are the common RPC shape; the
+        # pre-bound plan methods let hot paths skip the generic
+        # encode_in/decode_in frames (and their zip/listcomp) entirely.
+        one = len(self.in_plans) == 1
+        self.in1_encode = self.in_plans[0].encode if one else None
+        self.in1_decode = self.in_plans[0].decode if one else None
+        self.result_decode = self.result_plan.decode
 
     def encode_in(self, enc: CDREncoder, args) -> None:
         for plan, value in zip(self.in_plans, args):
@@ -950,17 +1034,16 @@ class OperationCodec:
         return [plan.decode(dec) for plan in self.in_plans]
 
 
-_OP_CODECS: dict[int, tuple[object, OperationCodec]] = {}
-_OP_CODECS_MAX = 2048
-
-
 def op_codec(odef) -> OperationCodec:
-    """Cached per-operation codec, keyed by OperationDef identity."""
-    entry = _OP_CODECS.get(id(odef))
-    if entry is not None and entry[0] is odef:
-        return entry[1]
-    codec = OperationCodec(odef)
-    if len(_OP_CODECS) >= _OP_CODECS_MAX:
-        _OP_CODECS.clear()
-    _OP_CODECS[id(odef)] = (odef, codec)
-    return codec
+    """Cached per-operation codec, stored on the OperationDef itself.
+
+    OperationDef is a frozen dataclass, so the memo goes in via
+    ``object.__setattr__``; it never invalidates because the definition
+    is immutable.  Hot paths may read ``odef._codec`` directly (guarded
+    by AttributeError) to skip even this call."""
+    try:
+        return odef._codec
+    except AttributeError:
+        codec = OperationCodec(odef)
+        object.__setattr__(odef, "_codec", codec)
+        return codec

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Any as TAny
 from typing import Callable, Iterable, Optional, Sequence
 
@@ -44,7 +45,7 @@ from repro.orb.exceptions import (
 )
 from repro.orb.ior import IOR
 from repro.orb.typecodes import TCKind, TypeCode, tc_void
-from repro.sim.kernel import Environment, Event
+from repro.sim.kernel import Environment, Event, Timeout
 from repro.sim.network import Message, Network
 from repro.util.errors import ConfigurationError
 
@@ -366,6 +367,17 @@ class Stub:
         return f"<Stub {self._iface.name} -> {self._ior}>"
 
 
+class _ImmediateCtx:
+    """Minimal event stand-in for the zero-CPU-cost dispatch path, so
+    :meth:`ORB._dispatch_finish` has a single (callback-shaped)
+    signature whether or not a cost timeout was scheduled."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value) -> None:
+        self._value = value
+
+
 class _DispatchSlots:
     """FIFO semaphore bounding concurrent servant execution.
 
@@ -447,11 +459,26 @@ class ORB:
         self._iface.bind("giop", self._on_message)
         self._adapters: dict[str, "POA"] = {}
         self._enc_pool: list[CDREncoder] = []
+        #: (host, adapter, key, operation) -> pre-encoded request routing
+        #: segment; repeat invocations skip four string encodes per call.
+        self._prefix_cache: dict[tuple, bytes] = {}
+        #: (adapter, key, operation) -> (poa, poa_gen, servant, odef);
+        #: entries are fenced by the POA generation counter so
+        #: deactivation/reactivation can never serve a stale servant.
+        self._resolve_cache: dict[tuple, tuple] = {}
         self._next_request_id = 0
         #: request_id -> (reply event, OperationDef, ClientRequestInfo|None)
         self._pending: dict[
             int, tuple[Event, OperationDef, Optional[ClientRequestInfo]]
         ] = {}
+        #: Reply deadlines, kept out of the kernel event queue.  One
+        #: kernel timer is armed for the earliest entry; answered calls
+        #: are removed lazily when their slot is swept.  A per-call 60 s
+        #: kernel Timeout would linger in the kernel heap long after the
+        #: reply, growing it by one entry per call and taxing every
+        #: subsequent push/pop with deeper sifts.
+        self._deadline_heap: list[tuple] = []
+        self._deadline_armed_at = float("inf")
         #: called with cpu-seconds on every dispatch (resource accounting)
         self.dispatch_listeners: list[Callable[[float], None]] = []
         #: called with the pending-table depth on every add/remove.
@@ -460,6 +487,10 @@ class ORB:
         self.dispatch_watchers: list[Callable[[int], None]] = []
         self._client_interceptors: list[TAny] = []
         self._server_interceptors: list[TAny] = []
+        # Hot-path counters resolved once instead of per call.
+        self._ctr_requests = self.metrics.counter("orb.requests")
+        self._ctr_replies = self.metrics.counter("orb.replies")
+        self._ctr_dispatches = self.metrics.counter("orb.dispatches")
         #: observability hub, set by repro.obs.Observability.install().
         self.obs = None
         self.host.on_crash.append(self._on_host_crash)
@@ -510,7 +541,9 @@ class ORB:
         return pool.pop() if pool else CDREncoder()
 
     def _release_encoder(self, enc: CDREncoder) -> None:
-        # Only pooled after a take(), which leaves the buffer empty.
+        # Callers release only after take() or reset(), so the pooled
+        # buffer is always empty (reset keeps its capacity, so steady
+        # traffic stops reallocating).
         if len(self._enc_pool) < 8:
             self._enc_pool.append(enc)
 
@@ -519,15 +552,46 @@ class ORB:
         """Create a typed proxy for *ior* narrowed to *interface*."""
         return Stub(self, ior, interface)
 
-    def _marshal_args(self, odef: OperationDef, args: Sequence[TAny]) -> bytes:
-        codec = op_codec(odef)
+    def _request_prefix(self, ior: IOR, operation: str) -> bytes:
+        """Cached pre-encoded routing segment for (target, operation)."""
+        key = (ior.host_id, ior.adapter, ior.object_key, operation)
+        cache = self._prefix_cache
+        prefix = cache.get(key)
+        if prefix is None:
+            if len(cache) >= 1024:
+                cache.clear()
+            prefix = giop.encode_request_prefix(
+                ior.host_id, ior.adapter, ior.object_key, operation)
+            cache[key] = prefix
+        return prefix
+
+    def _marshal_args_pooled(self, odef: OperationDef,
+                             args: Sequence[TAny]) -> CDREncoder:
+        """Marshal *args* into a pooled encoder and return it.
+
+        The caller reads ``enc._buf`` directly (zero-copy into the
+        framing layer), then must ``reset()`` and release the encoder.
+        """
+        try:
+            codec = odef._codec
+        except AttributeError:
+            codec = op_codec(odef)
         if len(args) != len(codec.in_plans):
             raise BAD_PARAM(
                 f"{odef.name} expects {len(codec.in_plans)} args, "
                 f"got {len(args)}"
             )
-        enc = self._acquire_encoder()
-        codec.encode_in(enc, args)
+        pool = self._enc_pool
+        enc = pool.pop() if pool else CDREncoder()
+        enc1 = codec.in1_encode
+        if enc1 is not None:
+            enc1(enc, args[0])
+        else:
+            codec.encode_in(enc, args)
+        return enc
+
+    def _marshal_args(self, odef: OperationDef, args: Sequence[TAny]) -> bytes:
+        enc = self._marshal_args_pooled(odef, args)
         args_bytes = enc.take()
         self._release_encoder(enc)
         return args_bytes
@@ -574,23 +638,17 @@ class ORB:
             raise BAD_PARAM(
                 f"{odef.name} expects a response; use invoke() instead"
             )
-        args_bytes = self._marshal_args(odef, args)
+        enc = self._marshal_args_pooled(odef, args)
         self._next_request_id += 1
         request_id = self._next_request_id
         info, service_context = self._client_send_hooks(
             ior, odef, request_id, meter, oneway=True)
-        request = giop.RequestMessage(
-            request_id=request_id,
-            response_expected=False,
-            host=ior.host_id,
-            adapter=ior.adapter,
-            object_key=ior.object_key,
-            operation=odef.name,
-            args=args_bytes,
-            service_context=service_context,
-        )
-        wire = request.encode()
-        self.metrics.counter("orb.requests").inc()
+        wire = giop.encode_request(
+            request_id, False, self._request_prefix(ior, odef.name),
+            enc._buf, service_context)
+        enc.reset()
+        self._release_encoder(enc)
+        self._ctr_requests.inc()
         self.metrics.counter("orb.oneways").inc()
         if meter is not None:
             # Per-protocol bandwidth attribution (benchmarks rely on it).
@@ -629,30 +687,50 @@ class ORB:
 
         if timeout is None:
             timeout = self.default_timeout
-        args_bytes = self._marshal_args(odef, args)
+        # _marshal_args_pooled and _request_prefix inlined below: invoke
+        # is the one client path every two-way call takes, and the saved
+        # frames are a measurable share of per-call overhead.
+        try:
+            codec = odef._codec
+        except AttributeError:
+            codec = op_codec(odef)
+        if len(args) != len(codec.in_plans):
+            raise BAD_PARAM(
+                f"{odef.name} expects {len(codec.in_plans)} args, "
+                f"got {len(args)}"
+            )
+        pool = self._enc_pool
+        enc = pool.pop() if pool else CDREncoder()
+        enc1 = codec.in1_encode
+        if enc1 is not None:
+            enc1(enc, args[0])
+        else:
+            codec.encode_in(enc, args)
 
         self._next_request_id += 1
         request_id = self._next_request_id
-        info, service_context = self._client_send_hooks(
-            ior, odef, request_id, meter, oneway=False)
-        request = giop.RequestMessage(
-            request_id=request_id,
-            response_expected=True,
-            host=ior.host_id,
-            adapter=ior.adapter,
-            object_key=ior.object_key,
-            operation=odef.name,
-            args=args_bytes,
-            service_context=service_context,
-        )
-        wire = request.encode()
-        self.metrics.counter("orb.requests").inc()
+        if self._client_interceptors:
+            info, service_context = self._client_send_hooks(
+                ior, odef, request_id, meter, oneway=False)
+        else:
+            info, service_context = None, ()
+        prefix = self._prefix_cache.get(
+            (ior.host_id, ior.adapter, ior.object_key, odef.name))
+        if prefix is None:
+            prefix = self._request_prefix(ior, odef.name)
+        wire = giop.encode_request(
+            request_id, True, prefix, enc._buf, service_context)
+        enc.reset()
+        pool = self._enc_pool
+        if len(pool) < 8:
+            pool.append(enc)
+        self._ctr_requests.value += 1
         if meter is not None:
             # Per-protocol bandwidth attribution (benchmarks rely on it).
             self.metrics.counter(f"{meter}.msgs").inc()
             self.metrics.counter(f"{meter}.bytes").inc(len(wire))
 
-        reply_event = self.env.event()
+        reply_event = Event(self.env)
         if info is not None:
             info.request_bytes = len(wire)
             # First callback, so interceptors observe completion before
@@ -660,7 +738,8 @@ class ORB:
             reply_event.callbacks.append(
                 lambda ev, i=info: self._finish_client(i, ev))
         self._pending[request_id] = (reply_event, odef, info)
-        self._watch_pending()
+        if self.pending_watchers:
+            self._watch_pending()
         self.network.send(self.host_id, ior.host_id, "giop", wire, len(wire))
 
         # Even "no timeout" callers get a generous reply deadline:
@@ -668,20 +747,40 @@ class ORB:
         # pending-table entry forever.
         deadline = timeout if timeout is not None else self.reply_deadline
         if deadline is not None:
-            def expire(_ev, rid=request_id) -> None:
-                entry = self._pending.pop(rid, None)
-                if entry is None:
-                    return  # already answered
-                self._watch_pending()
-                event, _odef, _info = entry
-                self.metrics.counter("orb.timeouts").inc()
-                event.fail(TIMEOUT(
-                    f"no reply to {odef.name} on {ior.host_id} "
-                    f"within {deadline}s"
-                )).defused()
-
-            self.env.timeout(deadline).callbacks.append(expire)
+            when = self.env._now + deadline
+            heappush(self._deadline_heap,
+                     (when, request_id, odef.name, ior.host_id, deadline))
+            if when < self._deadline_armed_at:
+                self._deadline_armed_at = when
+                Timeout(self.env, deadline).callbacks.append(
+                    self._sweep_deadlines)
         return reply_event
+
+    def _sweep_deadlines(self, _ev) -> None:
+        """Expire every overdue pending call, then re-arm for the next
+        deadline.  Entries whose call already completed were removed
+        from ``_pending`` and are simply dropped here."""
+        heap = self._deadline_heap
+        now = self.env.now
+        while heap and heap[0][0] <= now:
+            _when, rid, op_name, host_id, deadline = heappop(heap)
+            entry = self._pending.pop(rid, None)
+            if entry is None:
+                continue  # already answered
+            self._watch_pending()
+            event, _odef, _info = entry
+            self.metrics.counter("orb.timeouts").inc()
+            event.fail(TIMEOUT(
+                f"no reply to {op_name} on {host_id} "
+                f"within {deadline}s"
+            )).defused()
+        if heap:
+            nxt = heap[0][0]
+            self._deadline_armed_at = nxt
+            self.env.timeout(nxt - now).callbacks.append(
+                self._sweep_deadlines)
+        else:
+            self._deadline_armed_at = float("inf")
 
     def sync(self, event: Event):
         """Run the simulation until *event* completes; return its value.
@@ -698,7 +797,9 @@ class ORB:
     # -- message handling ------------------------------------------------------
     def _on_message(self, msg: Message) -> None:
         try:
-            decoded = giop.decode_message(msg.payload)
+            # decode_message's struct.error wrapper is redundant here:
+            # both except arms below already count a bad message.
+            decoded = giop._decode_message_body(msg.payload)
         except SystemException:
             self.metrics.counter("orb.bad_messages").inc()
             return
@@ -714,7 +815,11 @@ class ORB:
                 self._shed(decoded, msg.src)
                 return
             self._inflight += 1
-            self._watch_dispatch()
+            if self.dispatch_watchers:
+                self._watch_dispatch()
+            if (self._slots is None and not self._server_interceptors
+                    and self._dispatch_fast(decoded, msg.src)):
+                return
             self.env.process(self._dispatch(decoded, msg.src,
                                             len(msg.payload)))
         else:
@@ -756,20 +861,41 @@ class ORB:
                 for icpt in reversed(self._server_interceptors):
                     icpt.finish_request(info)
 
+    def _resolve_target(self, request: giop.RequestMessage):
+        """Resolve (servant, odef) for *request*, with a fenced cache.
+
+        Cache entries carry the owning POA's generation counter; any
+        activate/deactivate bumps it, so a stale entry can never route
+        around the adapter's fencing — it just falls through to the
+        slow path and re-resolves.
+        """
+        key = (request.adapter, request.object_key, request.operation)
+        cache = self._resolve_cache
+        entry = cache.get(key)
+        if entry is not None:
+            poa, gen, servant, odef = entry
+            if gen == poa._gen:
+                return servant, odef
+        poa = self._adapters.get(request.adapter)
+        if poa is None:
+            raise OBJECT_NOT_EXIST(f"no adapter {request.adapter!r}")
+        servant = poa.servant_for(request.object_key)
+        iface = servant.interface()
+        odef = iface.find_operation(request.operation)
+        if odef is None:
+            raise BAD_OPERATION(
+                f"{iface.name} has no operation {request.operation!r}"
+            )
+        if len(cache) >= 4096:
+            cache.clear()
+        cache[key] = (poa, poa._gen, servant, odef)
+        return servant, odef
+
     def _dispatch_body(self, request: giop.RequestMessage, client: str,
                        info: Optional[ServerRequestInfo]):
         odef: Optional[OperationDef] = None
         try:
-            poa = self._adapters.get(request.adapter)
-            if poa is None:
-                raise OBJECT_NOT_EXIST(f"no adapter {request.adapter!r}")
-            servant = poa.servant_for(request.object_key)
-            iface = servant.interface()
-            odef = iface.find_operation(request.operation)
-            if odef is None:
-                raise BAD_OPERATION(
-                    f"{iface.name} has no operation {request.operation!r}"
-                )
+            servant, odef = self._resolve_target(request)
             method = getattr(servant, request.operation, None)
             if method is None:
                 raise NO_IMPLEMENT(
@@ -805,12 +931,47 @@ class ORB:
                 if slots is not None:
                     slots.release()
 
-            self.metrics.counter("orb.dispatches").inc()
-            if not request.response_expected:
-                return
-            body = self._encode_result(odef, result)
-            self._reply(client, request, giop.NO_EXCEPTION, body, info)
-        except UserException as exc:
+            self._complete_dispatch(request, client, odef, result, info)
+        except Exception as exc:
+            self._dispatch_error(request, client, odef, exc, info)
+
+    def _complete_dispatch(self, request: giop.RequestMessage, client: str,
+                           odef: OperationDef, result,
+                           info: Optional[ServerRequestInfo]) -> None:
+        """Count the dispatch and send the success reply (shared tail of
+        the process and synchronous dispatch paths).  ``_reply`` is
+        inlined: this is the one reply path every successful call takes."""
+        self._ctr_dispatches.value += 1
+        if not request.response_expected:
+            return
+        try:
+            codec = odef._codec
+        except AttributeError:
+            codec = op_codec(odef)
+        if not codec.out_plans:
+            # No out params (the common shape): _encode_result inlined.
+            pool = self._enc_pool
+            enc = pool.pop() if pool else CDREncoder()
+            codec.result_plan.encode(enc, result)
+        else:
+            enc = self._encode_result(odef, result)
+        wire = giop.encode_reply(request.request_id, giop.NO_EXCEPTION,
+                                 enc._buf)
+        self._ctr_replies.value += 1
+        if info is not None:
+            info.reply_status = giop.NO_EXCEPTION
+            info.reply_bytes = len(wire)
+        self.network.send(self.host_id, client, "giop", wire, len(wire))
+        enc.reset()
+        pool = self._enc_pool
+        if len(pool) < 8:
+            pool.append(enc)
+
+    def _dispatch_error(self, request: giop.RequestMessage, client: str,
+                        odef: Optional[OperationDef], exc: Exception,
+                        info: Optional[ServerRequestInfo]) -> None:
+        """Map a dispatch-time exception to the reply it owes the client."""
+        if isinstance(exc, UserException):
             if info is not None:
                 info.exception = exc
             if not request.response_expected or odef is None:
@@ -830,30 +991,128 @@ class ORB:
             enc = self._acquire_encoder()
             enc.write_string(exc.REPO_ID)
             get_plan(tc).encode(enc, dict(zip(exc.FIELDS, exc.field_values())))
-            body = enc.take()
+            self._reply(client, request, giop.USER_EXCEPTION, enc._buf, info)
+            enc.reset()
             self._release_encoder(enc)
-            self._reply(client, request, giop.USER_EXCEPTION, body, info)
-        except SystemException as exc:
+        elif isinstance(exc, SystemException):
             if info is not None:
                 info.exception = exc
             if request.response_expected:
                 self._reply_system(client, request, exc, info)
-        except Exception as exc:  # servant bug -> UNKNOWN, as CORBA mandates
+        else:  # servant bug -> UNKNOWN, as CORBA mandates
             self.metrics.counter("orb.servant_errors").inc()
             if info is not None:
                 info.exception = exc
             if request.response_expected:
                 self._reply_system(client, request, UNKNOWN(repr(exc)), info)
 
-    def _encode_result(self, odef: OperationDef, result) -> bytes:
-        codec = op_codec(odef)
+    def _dispatch_fast(self, request: giop.RequestMessage,
+                       client: str) -> bool:
+        """Serve one request without a kernel process when nothing needs
+        one: no worker slots, no interceptors (both checked by the
+        caller) and a plain (non-generator) servant method.  Zero-cost
+        operations complete inside the delivery callback; operations
+        with CPU cost run off a single timeout callback.  Either way the
+        per-call process creation and its kernel steps are skipped.
+
+        Returns False — before running any servant code — when the
+        request must take the process path instead.  When it returns
+        True the request is (or will be) fully handled, including the
+        in-flight accounting the caller incremented.
+        """
+        odef: Optional[OperationDef] = None
+        try:
+            servant, odef = self._resolve_target(request)
+            method = getattr(servant, request.operation, None)
+            if method is None:
+                raise NO_IMPLEMENT(
+                    f"{type(servant).__name__} lacks {request.operation!r}"
+                )
+            code = getattr(method, "__code__", None)
+            if code is None or code.co_flags & 0x20:
+                return False  # CO_GENERATOR or unknowable: process path
+            try:
+                codec = odef._codec
+            except AttributeError:
+                codec = op_codec(odef)
+            dec1 = codec.in1_decode
+            if dec1 is not None:
+                args = (dec1(CDRDecoder(request.args)),)
+            else:
+                args = codec.decode_in(CDRDecoder(request.args))
+        except Exception as exc:
+            self._dispatch_error(request, client, odef, exc, None)
+            self._inflight -= 1
+            self._watch_dispatch()
+            return True
+        # Charge the operation's CPU cost at this host's speed (same
+        # accounting point as the process path: after decode, before
+        # the servant runs).
+        cost_s = odef.cpu_cost / self.host.profile.cpu_power
+        for listener in self.dispatch_listeners:
+            listener(cost_s)
+        if cost_s > 0:
+            # The dispatch context rides as the timeout's value — no
+            # per-call closure allocation, and _dispatch_finish is the
+            # callback itself (no unpacking shim frame in between).
+            Timeout(self.env, cost_s,
+                    (request, client, odef, method, args)
+                    ).callbacks.append(self._dispatch_finish)
+        else:
+            self._dispatch_finish(
+                _ImmediateCtx((request, client, odef, method, args)))
+        return True
+
+    def _dispatch_finish(self, ev) -> None:
+        """Run the servant and reply; tail of the processless path.
+
+        Runs as the cost-timeout's callback; the dispatch context
+        ``(request, client, odef, method, args)`` rides in ``ev._value``.
+        """
+        request, client, odef, method, args = ev._value
+        try:
+            result = method(*args)
+            if hasattr(result, "send") and hasattr(result, "throw"):
+                # A plain method handed back a generator object: drive
+                # it to completion on the kernel like the process path.
+                self.env.process(
+                    self._dispatch_tail(request, client, odef, result))
+                return
+            self._complete_dispatch(request, client, odef, result, None)
+        except Exception as exc:
+            self._dispatch_error(request, client, odef, exc, None)
+        self._inflight -= 1
+        if self.dispatch_watchers:
+            self._watch_dispatch()
+
+    def _dispatch_tail(self, request: giop.RequestMessage, client: str,
+                       odef: OperationDef, gen):
+        """Finish a fast-path dispatch whose servant returned a generator."""
+        try:
+            result = yield self.env.process(gen)
+            self._complete_dispatch(request, client, odef, result, None)
+        except Exception as exc:
+            self._dispatch_error(request, client, odef, exc, None)
+        finally:
+            self._inflight -= 1
+            self._watch_dispatch()
+
+    def _encode_result(self, odef: OperationDef, result) -> CDREncoder:
+        """Marshal the reply body into a pooled encoder and return it.
+
+        The caller frames ``enc._buf`` directly, then resets and
+        releases the encoder — the body bytes are never snapshotted.
+        """
+        try:
+            codec = odef._codec
+        except AttributeError:
+            codec = op_codec(odef)
         outs = codec.out_plans
-        enc = self._acquire_encoder()
+        pool = self._enc_pool
+        enc = pool.pop() if pool else CDREncoder()
         if not outs:
             codec.result_plan.encode(enc, result)
-            body = enc.take()
-            self._release_encoder(enc)
-            return body
+            return enc
         # Normalize to (result?, *outs)
         if codec.result_void:
             values = result if isinstance(result, tuple) else (result,)
@@ -871,16 +1130,13 @@ class ORB:
             values = result[1:]
         for plan, value in zip(outs, values):
             plan.encode(enc, value)
-        body = enc.take()
-        self._release_encoder(enc)
-        return body
+        return enc
 
     def _reply(self, client: str, request: giop.RequestMessage,
-               status: int, body: bytes,
+               status: int, body,
                info: Optional[ServerRequestInfo] = None) -> None:
-        reply = giop.ReplyMessage(request.request_id, status, body)
-        wire = reply.encode()
-        self.metrics.counter("orb.replies").inc()
+        wire = giop.encode_reply(request.request_id, status, body)
+        self._ctr_replies.value += 1
         if info is not None:
             info.reply_status = status
             info.reply_bytes = len(wire)
@@ -894,9 +1150,9 @@ class ORB:
         enc.write_string(exc.reason or "")
         enc.write_ulong(exc.minor)
         enc.write_ulong(exc.completed)
-        body = enc.take()
+        self._reply(client, request, giop.SYSTEM_EXCEPTION, enc._buf, info)
+        enc.reset()
         self._release_encoder(enc)
-        self._reply(client, request, giop.SYSTEM_EXCEPTION, body, info)
 
     # -- client-side completion ---------------------------------------------------
     def _complete(self, reply: giop.ReplyMessage, wire_size: int = 0) -> None:
@@ -904,13 +1160,22 @@ class ORB:
         if entry is None:
             self.metrics.counter("orb.late_replies").inc()
             return
-        self._watch_pending()
+        if self.pending_watchers:
+            self._watch_pending()
         event, odef, info = entry
         if info is not None:
             info.reply_bytes = wire_size
         try:
             if reply.status == giop.NO_EXCEPTION:
-                event.succeed(self._decode_result(odef, reply.body))
+                # No-out-params result decode inlined (the common shape).
+                try:
+                    codec = odef._codec
+                except AttributeError:
+                    codec = op_codec(odef)
+                if not codec.out_plans:
+                    event.succeed(codec.result_decode(CDRDecoder(reply.body)))
+                else:
+                    event.succeed(self._decode_result(odef, reply.body))
             elif reply.status == giop.USER_EXCEPTION:
                 dec = CDRDecoder(reply.body)
                 repo_id = dec.read_string()
@@ -935,7 +1200,10 @@ class ORB:
             event.fail(exc).defused()
 
     def _decode_result(self, odef: OperationDef, body: bytes):
-        codec = op_codec(odef)
+        try:
+            codec = odef._codec
+        except AttributeError:
+            codec = op_codec(odef)
         dec = CDRDecoder(body)
         result = codec.result_plan.decode(dec)
         outs = codec.out_plans

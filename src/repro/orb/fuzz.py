@@ -19,8 +19,23 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.orb import giop
+from repro.orb import codegen, giop
+from repro.orb.cdr import CDRDecoder, CDREncoder, encode_value
 from repro.orb.exceptions import SystemException
+from repro.orb.typecodes import (
+    array_tc,
+    enum_tc,
+    sequence_tc,
+    struct_tc,
+    tc_boolean,
+    tc_double,
+    tc_long,
+    tc_octet,
+    tc_octetseq,
+    tc_short,
+    tc_string,
+    union_tc,
+)
 
 
 def corpus() -> list[bytes]:
@@ -175,6 +190,109 @@ def check_bounded(message, data: bytes) -> None:
                 f"decoded {len(message.body)}-byte body from a "
                 f"{limit}-byte frame"
             )
+
+
+#: Representative TypeCodes for the codegen decode tier, with a valid
+#: sample value each.  Every one of these MUST be supported by
+#: :func:`repro.orb.codegen.generate` — ``codec_corpus`` asserts it, so
+#: the fuzz genuinely drives the generated decoders, not a fallback.
+_CODEC_SAMPLES = [
+    (struct_tc("FzSample", [
+        ("id", tc_long),
+        ("name", tc_string),
+        ("path", sequence_tc(struct_tc("FzPoint", [
+            ("x", tc_double), ("y", tc_double)]))),
+    ]), {"id": 7, "name": "probe", "path": [{"x": 1.0, "y": 2.0},
+                                            {"x": 3.0, "y": 4.0}]}),
+    (struct_tc("FzMixed", [
+        ("flag", tc_boolean),
+        ("tag", enum_tc("FzColor", ["red", "green", "blue"])),
+        ("blob", tc_octetseq),
+        ("grid", array_tc(tc_short, 4)),
+        ("names", sequence_tc(tc_string)),
+    ]), {"flag": True, "tag": 2, "blob": b"\x01\x02\x03",
+         "grid": [1, -2, 3, -4], "names": ["a", "bb"]}),
+    (union_tc("FzEither", tc_long, [
+        (1, "num", tc_long),
+        (2, "text", tc_string),
+        (None, "raw", tc_octetseq),
+    ], default_index=2), (2, "hello")),
+    (sequence_tc(sequence_tc(tc_octet)), [b"ab", b"", b"xyz"]),
+]
+
+
+def codec_corpus() -> list[tuple]:
+    """(decode_fn, valid encoded bytes) pairs for the codegen tier."""
+    pairs = []
+    for tc, value in _CODEC_SAMPLES:
+        generated = codegen.generate(tc)
+        if generated is None:  # pragma: no cover - corpus bug
+            raise AssertionError(
+                f"codec fuzz corpus entry {tc!r} is not codegen-supported"
+            )
+        enc = CDREncoder()
+        encode_value(enc, tc, value)
+        pairs.append((generated[1], enc.getvalue()))
+    return pairs
+
+
+def _leaf_budget(value, limit: int) -> int:
+    """Spend ``limit`` down by the size of *value*; raises when the
+    decoded value is larger than the input frame could justify.
+
+    Every decoded leaf consumed at least one wire byte (the smallest
+    CDR leaf is an octet/boolean/char) and every string or byte slab
+    consumed at least its own length, so a valid decode can never
+    exhaust a budget equal to the frame length.
+    """
+    if isinstance(value, (bytes, bytearray, str)):
+        limit -= max(1, len(value))
+    elif isinstance(value, dict):
+        for member in value.values():
+            limit = _leaf_budget(member, limit)
+    elif isinstance(value, (list, tuple)):
+        for member in value:
+            limit = _leaf_budget(member, limit)
+    else:
+        limit -= 1
+    if limit < 0:
+        raise AssertionError("decoded value larger than its input frame")
+    return limit
+
+
+def check_value_bounded(value, data: bytes) -> None:
+    """Assert a codegen-decoded *value* is bounded by the frame size."""
+    # +8 slack: the outermost value may decode from a frame whose
+    # fixed leaves were packed tighter than one byte per leaf bound.
+    _leaf_budget(value, len(data) + 8)
+
+
+def run_codec_fuzz(seed: int, iterations: int = 2000) -> FuzzReport:
+    """Fuzz the *generated* decoders the way :func:`run_fuzz` fuzzes
+    the GIOP layer: mutate valid encodings, decode through the codegen
+    tier, demand SystemException-or-bounded-value for every mutant."""
+    rng = np.random.default_rng(seed)
+    pairs = codec_corpus()
+    report = FuzzReport(seed=seed)
+    for i in range(iterations):
+        dec_fn, base = pairs[int(rng.integers(0, len(pairs)))]
+        mutant = mutate(base, rng)
+        report.iterations += 1
+        try:
+            value = dec_fn(CDRDecoder(mutant))
+        except SystemException:
+            report.rejected += 1
+            continue
+        except BaseException as exc:  # contract breach: raw escape
+            report.failures.append((i, mutant, exc))
+            continue
+        try:
+            check_value_bounded(value, mutant)
+        except AssertionError as exc:
+            report.failures.append((i, mutant, exc))
+            continue
+        report.decoded += 1
+    return report
 
 
 def run_fuzz(seed: int, iterations: int = 2000) -> FuzzReport:

@@ -26,7 +26,6 @@ ulong completed``.
 from __future__ import annotations
 
 import struct as _struct
-from dataclasses import dataclass
 
 from repro.orb.cdr import CDRDecoder
 from repro.orb.exceptions import BAD_PARAM, MARSHAL
@@ -64,71 +63,159 @@ def _append_string(buf: bytearray, s: str) -> None:
     buf.append(0)
 
 
-def _append_octetseq(buf: bytearray, data: bytes) -> None:
+class RequestMessage:
+    """A GIOP Request: invoke *operation* on (host, adapter, object_key).
+
+    A plain ``__slots__`` class rather than a frozen dataclass: one is
+    built per inbound request, and a frozen dataclass pays an
+    ``object.__setattr__`` per field in ``__init__`` (~5x the cost of
+    plain attribute stores for these eight fields).
+    """
+
+    __slots__ = ("request_id", "response_expected", "host", "adapter",
+                 "object_key", "operation", "args", "service_context")
+
+    def __init__(self, request_id: int, response_expected: bool, host: str,
+                 adapter: str, object_key: str, operation: str,
+                 args: bytes,
+                 service_context: tuple[tuple[str, str], ...] = ()) -> None:
+        self.request_id = request_id
+        self.response_expected = response_expected
+        self.host = host
+        self.adapter = adapter
+        self.object_key = object_key
+        self.operation = operation
+        #: CDR encapsulation of in/inout parameters.
+        self.args = args
+        #: interceptor-propagated (key, value) slots, e.g. trace context.
+        self.service_context = service_context
+
+    def _key(self):
+        return (self.request_id, self.response_expected, self.host,
+                self.adapter, self.object_key, self.operation, self.args,
+                self.service_context)
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not RequestMessage:
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        return (f"RequestMessage(request_id={self.request_id!r}, "
+                f"operation={self.operation!r}, host={self.host!r}, "
+                f"adapter={self.adapter!r}, "
+                f"object_key={self.object_key!r})")
+
+    def encode(self) -> bytes:
+        prefix = encode_request_prefix(
+            self.host, self.adapter, self.object_key, self.operation)
+        return encode_request(self.request_id, self.response_expected,
+                              prefix, self.args, self.service_context)
+
+
+class ReplyMessage:
+    """A GIOP Reply matching a request by id.
+
+    Same ``__slots__`` treatment as :class:`RequestMessage`: one is
+    built per reply received, so construction cost is hot-path cost.
+    """
+
+    __slots__ = ("request_id", "status", "body")
+
+    def __init__(self, request_id: int, status: int, body: bytes) -> None:
+        if status not in _VALID_STATUS:
+            raise BAD_PARAM(f"invalid reply status {status}")
+        self.request_id = request_id
+        self.status = status
+        self.body = body
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not ReplyMessage:
+            return NotImplemented
+        return (self.request_id == other.request_id
+                and self.status == other.status
+                and self.body == other.body)
+
+    def __hash__(self) -> int:
+        return hash((self.request_id, self.status, self.body))
+
+    def __repr__(self) -> str:
+        return (f"ReplyMessage(request_id={self.request_id!r}, "
+                f"status={self.status!r}, body=<{len(self.body)} bytes>)")
+
+    def encode(self) -> bytes:
+        return encode_reply(self.request_id, self.status, self.body)
+
+
+def encode_request_prefix(host: str, adapter: str, object_key: str,
+                          operation: str) -> bytes:
+    """Pre-encode the four routing strings of a request body.
+
+    The segment assumes it follows the 9-byte fixed request header, so
+    it begins with the 3 pad bytes that 4-align the first length word.
+    Repeat invocations of the same operation on the same target reuse
+    the cached segment and skip four string encodes per call.
+    """
+    buf = bytearray()
+    for s in (host, adapter, object_key, operation):
+        data = s.encode("utf-8")
+        pad = (-(_REQ_HEAD.size + len(buf))) & 3
+        if pad:
+            buf += b"\x00" * pad
+        buf += _ULONG.pack(len(data) + 1)
+        buf += data
+        buf.append(0)
+    return bytes(buf)
+
+
+def encode_request(request_id: int, response_expected: bool, prefix: bytes,
+                   args, service_context: tuple = ()) -> bytes:
+    """One-pass request encode from a pre-built routing *prefix*.
+
+    *args* may be ``bytes``, ``bytearray`` or ``memoryview`` — callers
+    holding a pooled encoder buffer can pass it without snapshotting.
+    """
+    try:
+        buf = bytearray(_REQ_HEAD.pack(
+            MSG_REQUEST, request_id, response_expected))
+    except (_struct.error, TypeError) as exc:
+        raise BAD_PARAM(f"cannot marshal request header: {exc}") from None
+    buf += prefix
+    # _append_octetseq inlined: this append runs once per request sent.
     pad = (-len(buf)) & 3
     if pad:
         buf += b"\x00" * pad
-    buf += _ULONG.pack(len(data))
-    buf += data
+    buf += _ULONG.pack(len(args))
+    buf += args
+    pad = (-len(buf)) & 3
+    if pad:
+        buf += b"\x00" * pad
+    buf += _ULONG.pack(len(service_context))
+    for key, value in service_context:
+        _append_string(buf, key)
+        _append_string(buf, value)
+    return bytes(buf)
 
 
-@dataclass(frozen=True)
-class RequestMessage:
-    """A GIOP Request: invoke *operation* on (host, adapter, object_key)."""
+def encode_reply(request_id: int, status: int, body) -> bytes:
+    """One-pass reply encode.
 
-    request_id: int
-    response_expected: bool
-    host: str
-    adapter: str
-    object_key: str
-    operation: str
-    args: bytes  # CDR encapsulation of in/inout parameters
-    #: interceptor-propagated (key, value) slots, e.g. trace context.
-    service_context: tuple[tuple[str, str], ...] = ()
-
-    def encode(self) -> bytes:
-        try:
-            buf = bytearray(_REQ_HEAD.pack(
-                MSG_REQUEST, self.request_id, self.response_expected
-            ))
-        except (_struct.error, TypeError) as exc:
-            raise BAD_PARAM(f"cannot marshal request header: {exc}") from None
-        _append_string(buf, self.host)
-        _append_string(buf, self.adapter)
-        _append_string(buf, self.object_key)
-        _append_string(buf, self.operation)
-        _append_octetseq(buf, self.args)
-        pad = (-len(buf)) & 3
-        if pad:
-            buf += b"\x00" * pad
-        buf += _ULONG.pack(len(self.service_context))
-        for key, value in self.service_context:
-            _append_string(buf, key)
-            _append_string(buf, value)
-        return bytes(buf)
-
-
-@dataclass(frozen=True)
-class ReplyMessage:
-    """A GIOP Reply matching a request by id."""
-
-    request_id: int
-    status: int
-    body: bytes
-
-    def __post_init__(self) -> None:
-        if self.status not in _VALID_STATUS:
-            raise BAD_PARAM(f"invalid reply status {self.status}")
-
-    def encode(self) -> bytes:
-        try:
-            buf = bytearray(_REPLY_HEAD.pack(
-                MSG_REPLY, self.request_id, self.status
-            ))
-        except (_struct.error, TypeError) as exc:
-            raise BAD_PARAM(f"cannot marshal reply header: {exc}") from None
-        _append_octetseq(buf, self.body)
-        return bytes(buf)
+    *body* may be ``bytes``, ``bytearray`` or ``memoryview``; the reply
+    header is a fixed 12-byte, 4-aligned prefix so the body follows
+    with no pad.
+    """
+    if status not in _VALID_STATUS:
+        raise BAD_PARAM(f"invalid reply status {status}")
+    try:
+        buf = bytearray(_REPLY_HEAD.pack(MSG_REPLY, request_id, status))
+    except (_struct.error, TypeError) as exc:
+        raise BAD_PARAM(f"cannot marshal reply header: {exc}") from None
+    buf += _ULONG.pack(len(body))
+    buf += body
+    return bytes(buf)
 
 
 #: Python exceptions a hostile byte stream can provoke inside the
@@ -137,6 +224,18 @@ _DECODE_ERRORS = (
     _struct.error, UnicodeDecodeError, OverflowError, ValueError,
     IndexError, TypeError,
 )
+
+
+#: Parsed request routing segments (host, adapter, object_key,
+#: operation), keyed by their exact wire bytes.  Repeat invocations of
+#: the same operation carry an identical segment, and the segment is
+#: self-delimiting — parsing is a prefix-deterministic function of the
+#: bytes from offset 9, so equal bytes imply the same four strings and
+#: the same end offset.  A hit skips four string decodes; any mutation
+#: inside the segment misses and takes the validating slow path.
+_SEG_CACHE: dict[bytes, tuple[str, str, str, str]] = {}
+_SEG_LENS: list[int] = []
+_SEG_CACHE_MAX = 512
 
 
 def decode_message(data: bytes) -> "RequestMessage | ReplyMessage":
@@ -149,47 +248,87 @@ def decode_message(data: bytes) -> "RequestMessage | ReplyMessage":
     :class:`~repro.orb.exceptions.SystemException` subclasses.
     """
     try:
-        return _decode_message_body(CDRDecoder(data))
+        return _decode_message_body(data)
     except _DECODE_ERRORS as exc:
         raise MARSHAL(f"malformed GIOP message: {exc!r}") from None
 
 
-def _decode_message_body(dec: CDRDecoder) -> "RequestMessage | ReplyMessage":
-    msg_type = dec.read_octet()
+def _decode_message_body(data) -> "RequestMessage | ReplyMessage":
+    # Work on a plain bytes object: slices hash (for the segment cache)
+    # and unpack_from is fastest on it.  Short frames fail inside
+    # unpack_from with struct.error, which decode_message maps to
+    # MARSHAL; explicit bounds checks guard every slice, because a
+    # Python slice past the end truncates silently instead of raising.
+    if type(data) is not bytes:
+        data = bytes(data)
+    if not data:
+        raise BAD_PARAM("empty GIOP message")
+    msg_type = data[0]
     if msg_type == MSG_REQUEST:
-        request_id = dec.read_ulong()
-        response_expected = dec.read_boolean()
-        host = dec.read_string()
-        adapter = dec.read_string()
-        object_key = dec.read_string()
-        operation = dec.read_string()
-        args = dec.read_octet_sequence()
-        n_slots = dec.read_ulong()
-        if n_slots > MAX_SERVICE_CONTEXT_SLOTS:
-            raise MARSHAL(f"service context count {n_slots} exceeds cap "
-                          f"{MAX_SERVICE_CONTEXT_SLOTS}")
-        # Each slot is two strings of >= 4 bytes (length word) each;
-        # bound the loop by the bytes that are actually there.
-        if n_slots * 8 > dec.remaining:
-            raise MARSHAL(f"service context count {n_slots} exceeds "
-                          f"{dec.remaining} remaining bytes")
-        service_context = tuple(
-            (dec.read_string(), dec.read_string()) for _ in range(n_slots)
-        )
+        _, request_id, response_expected = _REQ_HEAD.unpack_from(data, 0)
+        head = _REQ_HEAD.size
+        for seg_len in _SEG_LENS:
+            entry = _SEG_CACHE.get(data[head:head + seg_len])
+            if entry is not None:
+                host, adapter, object_key, operation = entry
+                pos = head + seg_len
+                break
+        else:
+            dec = CDRDecoder(data)
+            dec._pos = head
+            host = dec.read_string()
+            adapter = dec.read_string()
+            object_key = dec.read_string()
+            operation = dec.read_string()
+            pos = dec._pos
+            seg_len = pos - head
+            if len(_SEG_CACHE) >= _SEG_CACHE_MAX:
+                _SEG_CACHE.clear()
+                del _SEG_LENS[:]
+            _SEG_CACHE[data[head:head + seg_len]] = (
+                host, adapter, object_key, operation)
+            if seg_len not in _SEG_LENS:
+                _SEG_LENS.append(seg_len)
+        pos += (-pos) & 3
+        (alen,) = _ULONG.unpack_from(data, pos)
+        pos += 4
+        if alen > len(data) - pos:
+            raise BAD_PARAM(f"CDR underflow: need {alen} bytes at {pos}, "
+                            f"have {len(data) - pos}")
+        args = data[pos:pos + alen]
+        pos += alen
+        pos += (-pos) & 3
+        (n_slots,) = _ULONG.unpack_from(data, pos)
+        pos += 4
+        if n_slots:
+            if n_slots > MAX_SERVICE_CONTEXT_SLOTS:
+                raise MARSHAL(f"service context count {n_slots} exceeds cap "
+                              f"{MAX_SERVICE_CONTEXT_SLOTS}")
+            # Each slot is two strings of >= 4 bytes (length word) each;
+            # bound the loop by the bytes that are actually there.
+            remaining = len(data) - pos
+            if n_slots * 8 > remaining:
+                raise MARSHAL(f"service context count {n_slots} exceeds "
+                              f"{remaining} remaining bytes")
+            dec = CDRDecoder(data)
+            dec._pos = pos
+            service_context = tuple(
+                (dec.read_string(), dec.read_string())
+                for _ in range(n_slots)
+            )
+        else:
+            service_context = ()
         return RequestMessage(
-            request_id=request_id,
-            response_expected=response_expected,
-            host=host,
-            adapter=adapter,
-            object_key=object_key,
-            operation=operation,
-            args=args,
-            service_context=service_context,
+            request_id, response_expected, host, adapter, object_key,
+            operation, args, service_context,
         )
     if msg_type == MSG_REPLY:
-        return ReplyMessage(
-            request_id=dec.read_ulong(),
-            status=dec.read_ulong(),
-            body=dec.read_octet_sequence(),
-        )
+        _, request_id, status = _REPLY_HEAD.unpack_from(data, 0)
+        pos = _REPLY_HEAD.size
+        (blen,) = _ULONG.unpack_from(data, pos)
+        pos += 4
+        if blen > len(data) - pos:
+            raise BAD_PARAM(f"CDR underflow: need {blen} bytes at {pos}, "
+                            f"have {len(data) - pos}")
+        return ReplyMessage(request_id, status, data[pos:pos + blen])
     raise BAD_PARAM(f"unknown GIOP message type {msg_type}")

@@ -25,6 +25,10 @@ class POA:
         self.name = name
         self._servants: dict[str, Servant] = {}
         self._ids = IdGenerator()
+        #: Generation counter, bumped on every servant-table mutation.
+        #: The ORB's dispatch-resolution cache fences its entries on it,
+        #: so deactivation invalidates cached routes immediately.
+        self._gen = 0
         #: Optional lazy activator: key -> Servant (or None to reject).
         self.servant_activator: Optional[Callable[[str], Optional[Servant]]] = None
 
@@ -42,17 +46,20 @@ class POA:
             )
         iface = servant.interface()
         self._servants[key] = servant
+        self._gen += 1
         return IOR(repo_id=iface.repo_id, host_id=self.orb.host_id,
                    adapter=self.name, object_key=key)
 
     def deactivate(self, key: str) -> Servant:
         """Deactivate and return the servant at *key*."""
         try:
-            return self._servants.pop(key)
+            servant = self._servants.pop(key)
         except KeyError:
             raise OBJECT_NOT_EXIST(
                 f"no object {key!r} in adapter {self.name!r}"
             ) from None
+        self._gen += 1
+        return servant
 
     def ior_for(self, key: str) -> IOR:
         servant = self._servants.get(key)
@@ -68,6 +75,7 @@ class POA:
             servant = self.servant_activator(key)
             if servant is not None:
                 self._servants[key] = servant
+                self._gen += 1
         if servant is None:
             raise OBJECT_NOT_EXIST(
                 f"no object {key!r} in adapter {self.name!r}"

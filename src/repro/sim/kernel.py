@@ -50,6 +50,13 @@ class Event:
     environment has run its callbacks.
     """
 
+    # Slotted: events are created several times per simulated message,
+    # so skipping the per-instance dict is a measurable win.  The
+    # __weakref__ slot stays because observability code keys
+    # WeakKeyDictionaries by Process.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused",
+                 "__weakref__")
+
     def __init__(self, env: "Environment") -> None:
         self.env = env
         #: Callables invoked (with this event) when the event is processed.
@@ -89,22 +96,26 @@ class Event:
     # -- triggering ------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with *value*."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env._schedule(self, URGENT)
+        env = self.env
+        env._eid += 1
+        heapq.heappush(env._queue, (env._now, URGENT, env._eid, self))
         return self
 
     def fail(self, exc: BaseException) -> "Event":
         """Trigger the event with an exception."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise RuntimeError(f"{self!r} already triggered")
         if not isinstance(exc, BaseException):
             raise TypeError(f"fail() needs an exception, got {exc!r}")
         self._ok = False
         self._value = exc
-        self.env._schedule(self, URGENT)
+        env = self.env
+        env._eid += 1
+        heapq.heappush(env._queue, (env._now, URGENT, env._eid, self))
         return self
 
     def defused(self) -> "Event":
@@ -124,14 +135,21 @@ class Event:
 class Timeout(Event):
     """Event that triggers ``delay`` simulated seconds after creation."""
 
+    __slots__ = ("_delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
+        # Event.__init__ inlined: timeouts carry every network message
+        # and every operation's CPU cost, so the super() frame counts.
+        self.env = env
+        self.callbacks = []
+        self._defused = False
         self._delay = delay
         self._ok = True
         self._value = value
-        env._schedule(self, NORMAL, delay)
+        env._eid += 1
+        heapq.heappush(env._queue, (env._now + delay, NORMAL, env._eid, self))
 
     def __repr__(self) -> str:
         return f"<Timeout delay={self._delay} at 0x{id(self):x}>"
@@ -139,6 +157,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
@@ -150,6 +170,8 @@ class Initialize(Event):
 
 class Interruption(Event):
     """Internal event that delivers an :class:`Interrupt` to a process."""
+
+    __slots__ = ("_process",)
 
     def __init__(self, process: "Process", cause: Any) -> None:
         super().__init__(process.env)
@@ -182,6 +204,8 @@ class Process(Event):
     processed; the ``yield`` expression evaluates to the event's value.
     Yielding a failed event re-raises its exception inside the generator.
     """
+
+    __slots__ = ("_gen", "_target")
 
     def __init__(self, env: "Environment", generator: Generator) -> None:
         if not hasattr(generator, "throw"):
@@ -251,6 +275,8 @@ class Process(Event):
 class Condition(Event):
     """Base for :class:`AnyOf` / :class:`AllOf` composite events."""
 
+    __slots__ = ("_events", "_completed")
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
@@ -289,12 +315,16 @@ class Condition(Event):
 class AnyOf(Condition):
     """Triggers when the first constituent event succeeds."""
 
+    __slots__ = ()
+
     def _satisfied(self, n_completed: int, n_total: int) -> bool:
         return n_completed >= 1
 
 
 class AllOf(Condition):
     """Triggers when every constituent event has succeeded."""
+
+    __slots__ = ()
 
     def _satisfied(self, n_completed: int, n_total: int) -> bool:
         return n_completed == n_total
@@ -382,11 +412,10 @@ class Environment:
             pass
         elif isinstance(until, Event):
             stop_ev = until
-            if stop_ev.processed:
+            if stop_ev.callbacks is None:  # already processed
                 if not stop_ev._ok:
                     raise stop_ev._value
                 return stop_ev._value
-            stop_ev.callbacks.append(self._stop_callback)
         else:
             stop_at = float(until)
             if stop_at < self._now:
@@ -395,10 +424,36 @@ class Environment:
                 )
 
         try:
-            while self._queue:
-                if stop_at is not None and self._queue[0][0] > stop_at:
-                    break
-                self.step()
+            if stop_at is None:
+                # Hot loop: the body of step() inlined with the queue
+                # bound locally.  Semantics are identical; run-until-event
+                # is the per-invocation path and call overhead counts.
+                queue = self._queue
+                pop = heapq.heappop
+                while queue:
+                    when, _prio, _eid, event = pop(queue)
+                    self._now = when
+                    callbacks, event.callbacks = event.callbacks, None
+                    if callbacks is None:
+                        continue
+                    for cb in callbacks:
+                        cb(event)
+                    if event is stop_ev:
+                        # Identity check instead of a StopSimulation
+                        # raise/catch: run-until-event happens once per
+                        # sync() and exception unwinding costs more than
+                        # one comparison per processed event.
+                        if event._ok:
+                            return event._value
+                        event._defused = True
+                        raise event._value
+                    if not event._ok and not event._defused:
+                        raise event._value
+            else:
+                while self._queue:
+                    if self._queue[0][0] > stop_at:
+                        break
+                    self.step()
         except StopSimulation as stop:
             return stop.args[0]
 
@@ -410,10 +465,3 @@ class Environment:
                 "simulation ran out of events before `until` event triggered"
             )
         return None
-
-    @staticmethod
-    def _stop_callback(event: Event) -> None:
-        if event._ok:
-            raise StopSimulation(event._value)
-        event._defused = True
-        raise event._value

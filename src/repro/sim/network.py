@@ -26,32 +26,35 @@ implement timeouts and retries on top, exactly as TCP/GIOP would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Optional
 
-from repro.sim.kernel import Environment
+from repro.sim.kernel import Environment, Timeout
 from repro.sim.rng import RngRegistry
 from repro.sim.stats import MetricRegistry
 from repro.sim.topology import Topology
 from repro.util.errors import ConfigurationError
-from repro.util.ids import IdGenerator
 
 #: Fixed per-message header overhead (transport + GIOP-ish framing), bytes.
 HEADER_BYTES = 64
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A unit of network transfer."""
 
-    msg_id: str
+    #: per-network sequence number (an int: nothing consumes message
+    #: ids, so the hot path skips formatting an id string per message)
+    msg_id: int
     src: str
     dst: str
     port: str           # logical service name on the destination host
     payload: Any
     size: int           # payload size in bytes (headers added by Network)
     sent_at: float = 0.0
-    headers: dict[str, Any] = field(default_factory=dict)
+    #: optional out-of-band metadata; None (not a fresh dict) by default
+    #: so the hot send path skips an allocation per message.
+    headers: Optional[dict[str, Any]] = None
 
     @property
     def total_size(self) -> int:
@@ -107,9 +110,23 @@ class Network:
         self.topology = topology
         self.rngs = rngs or RngRegistry(0)
         self.metrics = metrics or MetricRegistry()
-        self._ids = IdGenerator()
+        self._msg_seq = 0
         self._interfaces: dict[str, NetworkInterface] = {}
         self._loss_rng = self.rngs.stream("net.loss")
+        # Hot-path metric handles, resolved once instead of per message.
+        self._ctr_messages = self.metrics.counter("net.messages")
+        self._ctr_local = self.metrics.counter("net.local")
+        self._ctr_bytes = self.metrics.counter("net.bytes")
+        self._ctr_hops = self.metrics.counter("net.hops")
+        self._ctr_delivered = self.metrics.counter("net.delivered")
+        self._ctr_backbone = self.metrics.counter("net.bytes.backbone")
+        self._link_bytes = self.metrics.labelled_family("net.link_bytes")
+        #: id(link) -> (label, is_backbone), computed once per link.
+        self._link_meta: dict[int, tuple[str, bool]] = {}
+        #: host_id -> Host, memoized: hosts are never removed from a
+        #: topology (liveness is a flag on the Host object itself), so
+        #: the mapping is stable for the life of the network.
+        self._host_memo: dict[str, Any] = {}
         #: optional :class:`~repro.sim.faults.WireFaultModel`: when set,
         #: messages may arrive corrupted, truncated, duplicated or
         #: reordered.  Assignable after construction as well.
@@ -133,84 +150,109 @@ class Network:
         """
         if size < 0:
             raise ConfigurationError(f"negative message size {size}")
-        msg = Message(
-            msg_id=self._ids.next("msg"),
-            src=src,
-            dst=dst,
-            port=port,
-            payload=payload,
-            size=int(size),
-            sent_at=self.env.now,
-        )
-        self.metrics.counter("net.messages").inc()
+        env = self.env
+        self._msg_seq += 1
+        msg = Message(self._msg_seq, src, dst, port, payload,
+                      int(size), env._now)
+        self._ctr_messages.value += 1
 
-        src_host = self.topology.host(src)
+        src_host = self._host_memo.get(src)
+        if src_host is None:
+            src_host = self._host_memo[src] = self.topology.host(src)
         if not src_host.alive:
             self.metrics.counter("net.dropped.src_dead").inc()
             return msg
 
         if src == dst:
             # Local delivery: loopback costs nothing on the wire.
-            self.metrics.counter("net.local").inc()
-            self._schedule_delivery(msg, delay=0.0)
+            self._ctr_local.value += 1
+            Timeout(env, 0.0, msg).callbacks.append(self._deliver)
             return msg
 
-        path = self.topology.route(src, dst)
-        if path is None:
+        links = self.topology.route_links(src, dst)
+        if links is None:
             self.metrics.counter("net.dropped.unreachable").inc()
             return msg
 
-        links = self.topology.path_links(path)
-        arrival = self.env.now
-        total = msg.total_size
+        arrival = env._now
+        total = msg.size + HEADER_BYTES
+        link_meta = self._link_meta
+        link_bytes = self._link_bytes
         for link in links:
             if not link.up:
                 self.metrics.counter("net.dropped.link_down").inc()
                 return msg
-            if link.loss > 0 and self._loss_rng.random() < link.loss:
+            cls = link.link_class
+            if cls.loss > 0 and self._loss_rng.random() < cls.loss:
                 # Charge the bytes up to and including the lossy link —
                 # they were transmitted, then lost.
                 self.metrics.counter("net.dropped.loss").inc()
                 self._charge(link, total)
                 return msg
-            start = max(arrival, link.busy_until)
-            tx = total / link.bandwidth
+            start = link.busy_until
+            if arrival > start:
+                start = arrival
+            tx = total / cls.bandwidth
             link.busy_until = start + tx
-            arrival = start + tx + link.latency
-            self._charge(link, total)
+            arrival = start + tx + cls.latency
+            # _charge inlined: this runs once per link per message.
+            meta = link_meta.get(id(link))
+            if meta is None:
+                meta = (f"{link.a}|{link.b}", cls.name != "lan")
+                link_meta[id(link)] = meta
+            label, backbone = meta
+            link_bytes[label] = link_bytes.get(label, 0.0) + total
+            if backbone:
+                self._ctr_backbone.value += total
 
-        self.metrics.counter("net.bytes").inc(total)
-        self.metrics.counter("net.hops").inc(len(links))
-        base_delay = arrival - self.env.now
+        self._ctr_bytes.value += total
+        self._ctr_hops.value += len(links)
+        base_delay = arrival - env._now
         if self.wire_faults is not None:
             for payload, extra in self.wire_faults.apply(msg.payload, links):
                 delivery = msg if payload is msg.payload else replace(
                     msg, payload=payload)
                 self._schedule_delivery(delivery, delay=base_delay + extra)
             return msg
-        self._schedule_delivery(msg, delay=base_delay)
+        # The message rides as the timeout's value — no per-message
+        # closure, and no _schedule_delivery frame on the common path.
+        Timeout(env, base_delay, msg).callbacks.append(self._deliver)
         return msg
 
     def _charge(self, link, nbytes: int) -> None:
-        self.metrics.add_labelled("net.link_bytes", f"{link.a}|{link.b}", nbytes)
-        if link.link_class.name != "lan":
-            self.metrics.counter("net.bytes.backbone").inc(nbytes)
+        meta = self._link_meta.get(id(link))
+        if meta is None:
+            meta = (f"{link.a}|{link.b}", link.link_class.name != "lan")
+            self._link_meta[id(link)] = meta
+        label, backbone = meta
+        bucket = self._link_bytes
+        bucket[label] = bucket.get(label, 0.0) + nbytes
+        if backbone:
+            self._ctr_backbone.value += nbytes
 
     def _schedule_delivery(self, msg: Message, delay: float) -> None:
-        def deliver(_ev) -> None:
-            host = self.topology.host(msg.dst)
-            if not host.alive:
-                self.metrics.counter("net.dropped.dst_dead").inc()
-                return
-            iface = self._interfaces.get(msg.dst)
-            if iface is None:
-                self.metrics.counter("net.unrouted").inc()
-                return
-            self.metrics.counter("net.delivered").inc()
-            iface._dispatch(msg)
+        # The message rides as the timeout's value — no per-message
+        # closure allocation on the hot path.
+        Timeout(self.env, delay, msg).callbacks.append(self._deliver)
 
-        timeout = self.env.timeout(delay)
-        timeout.callbacks.append(deliver)
+    def _deliver(self, ev) -> None:
+        msg = ev._value
+        host = self._host_memo.get(msg.dst)
+        if host is None:
+            host = self._host_memo[msg.dst] = self.topology.host(msg.dst)
+        if not host.alive:
+            self.metrics.counter("net.dropped.dst_dead").inc()
+            return
+        iface = self._interfaces.get(msg.dst)
+        if iface is None:
+            self.metrics.counter("net.unrouted").inc()
+            return
+        self._ctr_delivered.value += 1
+        handler = iface._handlers.get(msg.port)
+        if handler is None:
+            self.metrics.counter("net.unrouted").inc()
+            return
+        handler(msg)
 
     # -- convenience -----------------------------------------------------
     def bytes_sent(self) -> float:

@@ -204,6 +204,12 @@ class MetricRegistry:
     def labelled(self, name: str) -> dict[str, float]:
         return dict(self._labelled.get(name, {}))
 
+    def labelled_family(self, name: str) -> dict[str, float]:
+        """The live label->value dict for *name*, for hot-path callers
+        that accumulate directly instead of going through
+        :meth:`add_labelled` per event."""
+        return self._labelled[name]
+
     def counters(self) -> dict[str, float]:
         return {name: c.value for name, c in self._counters.items()}
 

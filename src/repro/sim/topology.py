@@ -142,6 +142,9 @@ class Topology:
         self._hosts: dict[str, Host] = {}
         self._links: dict[tuple[str, str], Link] = {}
         self._route_cache: dict[tuple[str, str], Optional[list[str]]] = {}
+        #: (src, dst) -> Link list of the cached route (or None when
+        #: unreachable); invalidated together with the route cache.
+        self._link_cache: dict[tuple[str, str], Optional[list["Link"]]] = {}
 
     # -- construction ------------------------------------------------------
     def add_host(self, host_id: str, profile: HostProfile = DESKTOP) -> Host:
@@ -151,6 +154,7 @@ class Topology:
         self._hosts[host_id] = host
         self._graph.add_node(host_id)
         self._route_cache.clear()
+        self._link_cache.clear()
         return host
 
     def add_link(self, a: str, b: str, link_class: LinkClass = LAN) -> Link:
@@ -164,6 +168,7 @@ class Topology:
         self._links[link.key] = link
         self._graph.add_edge(a, b, weight=link_class.latency)
         self._route_cache.clear()
+        self._link_cache.clear()
         return link
 
     # -- access ------------------------------------------------------------
@@ -195,10 +200,12 @@ class Topology:
     # -- liveness / partitions ----------------------------------------------
     def invalidate_routes(self) -> None:
         self._route_cache.clear()
+        self._link_cache.clear()
 
     def set_link_state(self, a: str, b: str, up: bool) -> None:
         self.link(a, b).up = up
         self._route_cache.clear()
+        self._link_cache.clear()
 
     def set_host_state(self, host_id: str, alive: bool) -> None:
         host = self.host(host_id)
@@ -207,6 +214,7 @@ class Topology:
         else:
             host.crash()
         self._route_cache.clear()
+        self._link_cache.clear()
 
     # -- routing -------------------------------------------------------------
     def _live_graph(self) -> nx.Graph:
@@ -244,6 +252,20 @@ class Topology:
     def path_links(self, path: list[str]) -> list[Link]:
         """The links along a host path."""
         return [self.link(a, b) for a, b in zip(path, path[1:])]
+
+    def route_links(self, src: str, dst: str) -> Optional[list[Link]]:
+        """Cached link list of the live route src->dst (None when
+        unreachable).  Saves re-deriving the link objects on every
+        message along a hot path."""
+        key = (src, dst)
+        try:
+            return self._link_cache[key]
+        except KeyError:
+            pass
+        path = self.route(src, dst)
+        links = None if path is None else self.path_links(path)
+        self._link_cache[key] = links
+        return links
 
     def reachable(self, src: str, dst: str) -> bool:
         return self.route(src, dst) is not None

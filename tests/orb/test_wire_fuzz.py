@@ -10,7 +10,8 @@ import pytest
 
 from repro.orb import giop
 from repro.orb.exceptions import SystemException
-from repro.orb.fuzz import (FuzzReport, check_bounded, corpus, mutate,
+from repro.orb.fuzz import (FuzzReport, check_bounded, check_value_bounded,
+                            codec_corpus, corpus, mutate, run_codec_fuzz,
                             run_fuzz)
 
 pytestmark = pytest.mark.fuzz
@@ -37,6 +38,36 @@ def test_fuzz_no_escapes(seed):
     # The corpus must exercise both outcomes, or the fuzz proves nothing.
     assert report.rejected > 0
     assert report.decoded > 0
+
+
+def test_codec_corpus_is_valid():
+    # Every corpus frame decodes cleanly through the generated decoder
+    # and the decoded value passes its own bound check.
+    from repro.orb.cdr import CDRDecoder
+
+    for dec_fn, frame in codec_corpus():
+        value = dec_fn(CDRDecoder(frame))
+        check_value_bounded(value, frame)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_codec_fuzz_no_escapes(seed):
+    report = run_codec_fuzz(seed, iterations=2000)
+    detail = "\n".join(
+        f"  iter {i}: {exc!r} on {len(m)}-byte mutant {m[:48].hex()}..."
+        for i, m, exc in report.failures[:10])
+    assert report.ok, (
+        f"seed {seed}: {len(report.failures)} contract breaches\n{detail}")
+    assert report.iterations == 2000
+    assert report.decoded + report.rejected == report.iterations
+    # Mutants must exercise both outcomes for the run to mean anything.
+    assert report.rejected > 0
+    assert report.decoded > 0
+
+
+def test_check_value_bounded_catches_overallocation():
+    with pytest.raises(AssertionError):
+        check_value_bounded(["x" * 64] * 8, b"\x00" * 8)
 
 
 def test_mutate_is_deterministic():
