@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test selftest lint bench bench-orb faults fuzz
+.PHONY: check test selftest lint bench bench-orb bench-eventbus faults fuzz
 
 # The one-stop gate: descriptor lint, observability + availability +
 # static-gate end-to-end selftests, then the full tier-1 suite.
@@ -17,6 +17,7 @@ selftest:
 	$(PYTHON) benchmarks/bench_overload.py --selftest
 	$(PYTHON) benchmarks/bench_lint_gate.py --selftest
 	$(PYTHON) benchmarks/bench_orb_floor.py --selftest
+	$(PYTHON) benchmarks/bench_eventbus.py --selftest
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -35,3 +36,7 @@ bench:
 # regenerate BENCH_orb.json (ORB codec/dispatch microbenchmarks)
 bench-orb:
 	$(PYTHON) benchmarks/bench_to_json.py
+
+# regenerate BENCH_eventbus.json (C17 batched fan-out vs p2p oneways)
+bench-eventbus:
+	$(PYTHON) benchmarks/bench_to_json.py --suite eventbus

@@ -1,12 +1,16 @@
-"""Run the C1 ORB microbenchmarks and distill ``BENCH_orb.json``.
+"""Run benchmark suites and distill headline JSON records.
 
-Not a pytest suite: run it as a script.  It executes
-``bench_orb_micro.py`` under pytest-benchmark, extracts the headline
-numbers (CDR marshalling MB/s, invocations per second), compares them
-against the recorded pre-optimisation interpreter baseline, and writes
-``BENCH_orb.json`` at the repository root.
+Not a pytest suite: run it as a script.  The default (``--suite orb``)
+executes ``bench_orb_micro.py`` under pytest-benchmark, extracts the
+headline numbers (CDR marshalling MB/s, invocations per second),
+compares them against the recorded pre-optimisation interpreter
+baseline, and writes ``BENCH_orb.json`` at the repository root.
+``--suite eventbus`` runs ``bench_eventbus.py`` (C17) the same way and
+writes ``BENCH_eventbus.json``.  Both keep a ``history`` array of
+prior ``current`` blocks across regenerations.
 
     PYTHONPATH=src python benchmarks/bench_to_json.py
+    PYTHONPATH=src python benchmarks/bench_to_json.py --suite eventbus
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ import tempfile
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUT = ROOT / "BENCH_orb.json"
+OUT_EVENTBUS = ROOT / "BENCH_eventbus.json"
 
 # Measured on this repo immediately before the compiled-codec PR, when
 # every encode/decode walked the TypeCode interpreter.  Kept here so the
@@ -35,8 +40,8 @@ BASELINE = {
 }
 
 
-def run_benchmarks() -> dict:
-    """Run bench_orb_micro.py and return pytest-benchmark's JSON."""
+def run_benchmarks(bench_file: str = "bench_orb_micro.py") -> dict:
+    """Run *bench_file* and return pytest-benchmark's JSON."""
     with tempfile.TemporaryDirectory() as tmp:
         raw = pathlib.Path(tmp) / "raw.json"
         env = dict(os.environ)
@@ -44,7 +49,7 @@ def run_benchmarks() -> dict:
             ROOT / "benchmarks")
         subprocess.run(
             [sys.executable, "-m", "pytest",
-             str(ROOT / "benchmarks" / "bench_orb_micro.py"),
+             str(ROOT / "benchmarks" / bench_file),
              "--benchmark-only", f"--benchmark-json={raw}", "-q",
              "-p", "no:cacheprovider"],
             check=True, cwd=ROOT, env=env,
@@ -52,13 +57,13 @@ def run_benchmarks() -> dict:
         return json.loads(raw.read_text())
 
 
-def load_history() -> list:
+def load_history(out: pathlib.Path = OUT) -> list:
     """Prior `current` blocks, oldest first, so every regeneration keeps
     the optimisation trail (interpreter -> plans -> generated source)."""
-    if not OUT.exists():
+    if not out.exists():
         return []
     try:
-        prior = json.loads(OUT.read_text())
+        prior = json.loads(out.read_text())
     except (json.JSONDecodeError, OSError):
         return []
     history = list(prior.get("history", []))
@@ -125,7 +130,61 @@ def distill(raw: dict, history: list) -> dict:
     }
 
 
+def distill_eventbus(raw: dict, history: list) -> dict:
+    by_name = {}
+    for bench in raw.get("benchmarks", []):
+        name = bench["name"].split("[")[0]
+        by_name[name] = {
+            "mean_s": bench["stats"]["mean"],
+            "stddev_s": bench["stats"]["stddev"],
+            "rounds": bench["stats"]["rounds"],
+            **bench.get("extra_info", {}),
+        }
+    fanout = by_name.get("test_eventbus_fanout", {})
+    current = {
+        "label": "event bus + batched fan-out + GIOP pipelining",
+        "throughput_bus_events_per_s": fanout.get("throughput_bus"),
+        "throughput_p2p_events_per_s": fanout.get("throughput_p2p"),
+        "speedup": fanout.get("speedup"),
+        "messages_bus": fanout.get("messages_bus"),
+        "messages_p2p": fanout.get("messages_p2p"),
+        "bytes_bus": fanout.get("bytes_bus"),
+        "bytes_p2p": fanout.get("bytes_p2p"),
+        "batches": fanout.get("batches"),
+    }
+    return {
+        "generated": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "bench": "bench_eventbus.py (C17)",
+        "machine": raw.get("machine_info", {}).get("cpu", {}).get(
+            "brand_raw", "unknown"),
+        "current": current,
+        "history": history,
+        "raw": by_name,
+    }
+
+
 def main() -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="distill benchmark suites into BENCH_*.json")
+    parser.add_argument("--suite", choices=("orb", "eventbus"),
+                        default="orb")
+    args = parser.parse_args()
+
+    if args.suite == "eventbus":
+        result = distill_eventbus(run_benchmarks("bench_eventbus.py"),
+                                  load_history(OUT_EVENTBUS))
+        OUT_EVENTBUS.write_text(json.dumps(result, indent=2) + "\n")
+        cur = result["current"]
+        print(f"wrote {OUT_EVENTBUS}")
+        print(f"  fan-out: {cur['throughput_bus_events_per_s']:,.0f} vs "
+              f"{cur['throughput_p2p_events_per_s']:,.0f} events/s "
+              f"({cur['speedup']:.1f}x), {cur['messages_bus']:.0f} vs "
+              f"{cur['messages_p2p']:.0f} messages")
+        return 0
+
     result = distill(run_benchmarks(), load_history())
     OUT.write_text(json.dumps(result, indent=2) + "\n")
     speed = result["speedup"]

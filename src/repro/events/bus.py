@@ -1,0 +1,181 @@
+"""In-process pub/sub event bus with batched, decoupled delivery.
+
+The bus is per-node infrastructure (like the ORB): publishers hand an
+event to a topic and return immediately; each subscriber owns its own
+delivery machinery —
+
+- a :class:`~repro.events.worker.WorkerPool` for per-event handlers
+  (``subscribe``), or
+- a :class:`~repro.events.batch_writer.BatchWriter` for size/age-batched
+  handlers (``batch_subscribe``), the shape remote forwarders use so
+  many logical messages ride one wire transmission (see
+  :mod:`repro.events.remote` and the ORB's GIOP pipelining underneath).
+
+A slow or dead subscriber therefore never blocks the publisher or its
+sibling subscribers; its own bounded buffer fills and sheds oldest-first
+into ``bus.dropped``.
+
+Topics are dot-separated names matched exactly, plus trailing-wildcard
+patterns: a subscription to ``"supervisor.*"`` receives every topic
+beginning ``"supervisor."``, and ``"*"`` receives everything.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.events.batch_writer import BatchWriter
+from repro.events.worker import WorkerPool
+from repro.sim.kernel import Environment
+from repro.sim.stats import MetricRegistry
+from repro.util.errors import ConfigurationError
+
+
+class Event:
+    """One published occurrence: payload plus bus-stamped metadata."""
+
+    __slots__ = ("topic", "payload", "time", "seq")
+
+    def __init__(self, topic: str, payload, time: float, seq: int) -> None:
+        self.topic = topic
+        self.payload = payload
+        self.time = time
+        self.seq = seq
+
+    def __repr__(self) -> str:
+        return (f"Event({self.topic!r}, {self.payload!r}, "
+                f"t={self.time}, seq={self.seq})")
+
+
+class Subscription:
+    """One subscriber's attachment: pattern + private delivery machinery."""
+
+    __slots__ = ("bus", "pattern", "_sink", "_batched", "delivered")
+
+    def __init__(self, bus: "EventBus", pattern: str, sink,
+                 batched: bool) -> None:
+        self.bus = bus
+        self.pattern = pattern
+        self._sink = sink          # WorkerPool or BatchWriter
+        self._batched = batched
+        self.delivered = 0         # events accepted into this sink
+
+    @property
+    def pending(self) -> int:
+        return self._sink.pending
+
+    def _deliver(self, event: Event) -> None:
+        self.delivered += 1
+        if self._batched:
+            self._sink.append(event)
+        else:
+            self._sink.submit(event)
+
+    def flush(self) -> None:
+        """Force a batched subscription to deliver now (no-op otherwise)."""
+        if self._batched:
+            self._sink.flush()
+
+    def clear(self) -> None:
+        """Drop buffered, undelivered events (crash semantics)."""
+        self._sink.clear()
+
+    def cancel(self) -> None:
+        self.bus.unsubscribe(self)
+
+
+class EventBus:
+    """Topic-routed fan-out with per-subscriber buffering."""
+
+    def __init__(self, env: Environment,
+                 metrics: Optional[MetricRegistry] = None) -> None:
+        self.env = env
+        self.metrics = metrics or MetricRegistry()
+        self._seq = 0
+        #: exact topic -> subscriptions
+        self._topics: dict[str, list[Subscription]] = {}
+        #: ("prefix.", sub) for trailing-wildcard patterns ("" matches all)
+        self._wildcards: list[tuple[str, Subscription]] = []
+        self._ctr_published = self.metrics.counter("bus.published")
+        self._ctr_delivered = self.metrics.counter("bus.delivered")
+        self._ctr_no_subscriber = self.metrics.counter("bus.no_subscriber")
+
+    # -- subscribing -----------------------------------------------------
+    def subscribe(self, pattern: str, handler: Callable,
+                  workers: int = 1, capacity: int = 1024) -> Subscription:
+        """Per-event delivery: *handler(event)* runs on a worker pool."""
+        pool = WorkerPool(self.env, handler, workers=workers,
+                          capacity=capacity, metrics=self.metrics,
+                          name="bus")
+        return self._attach(pattern, pool, batched=False)
+
+    def batch_subscribe(self, pattern: str, flush: Callable,
+                        max_batch: int = 64, max_age: float = 0.05,
+                        capacity: int = 1024) -> Subscription:
+        """Batched delivery: *flush(list-of-events)* on size/age windows."""
+        writer = BatchWriter(self.env, flush, max_batch=max_batch,
+                             max_age=max_age, capacity=capacity,
+                             metrics=self.metrics, name="bus")
+        return self._attach(pattern, writer, batched=True)
+
+    def _attach(self, pattern: str, sink, batched: bool) -> Subscription:
+        if not pattern:
+            raise ConfigurationError("empty topic pattern")
+        sub = Subscription(self, pattern, sink, batched)
+        if pattern.endswith("*"):
+            prefix = pattern[:-1]
+            if prefix and not prefix.endswith("."):
+                raise ConfigurationError(
+                    f"wildcard pattern must end '.*' or be '*': {pattern!r}")
+            self._wildcards.append((prefix, sub))
+        else:
+            self._topics.setdefault(pattern, []).append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        subs = self._topics.get(sub.pattern)
+        if subs is not None and sub in subs:
+            subs.remove(sub)
+            if not subs:
+                del self._topics[sub.pattern]
+        self._wildcards = [(p, s) for p, s in self._wildcards if s is not sub]
+        if sub._batched:
+            sub._sink.clear()
+        else:
+            sub._sink.stop()
+
+    # -- publishing ------------------------------------------------------
+    def publish(self, topic: str, payload=None) -> Event:
+        """Hand one event to every matching subscriber; never blocks."""
+        self._seq += 1
+        event = Event(topic, payload, self.env._now, self._seq)
+        self._ctr_published.value += 1
+        matched = False
+        subs = self._topics.get(topic)
+        if subs:
+            matched = True
+            for sub in tuple(subs):
+                sub._deliver(event)
+                self._ctr_delivered.value += 1
+        for prefix, sub in self._wildcards:
+            if topic.startswith(prefix):
+                matched = True
+                sub._deliver(event)
+                self._ctr_delivered.value += 1
+        if not matched:
+            self._ctr_no_subscriber.value += 1
+        return event
+
+    # -- maintenance -----------------------------------------------------
+    def flush(self) -> None:
+        """Force every batched subscription to deliver now."""
+        for subs in self._topics.values():
+            for sub in subs:
+                sub.flush()
+        for _prefix, sub in self._wildcards:
+            sub.flush()
+
+    def subscriptions(self) -> list[Subscription]:
+        out = [s for subs in self._topics.values() for s in subs]
+        out.extend(s for _p, s in self._wildcards)
+        return out

@@ -1,0 +1,155 @@
+"""Metrics export over the event bus.
+
+Before this module, observability data left a node only by direct
+point-to-point calls (or not at all — most benches read registries in
+process).  A :class:`MetricsExporter` instead snapshots a node's
+counters on an interval and *publishes* them to its bus; a batched
+subscription forwards whole windows of snapshots to a central
+:class:`MetricsCollector` as a single ``ingest`` oneway per batch.
+
+One exporter, one topic, any number of consumers: a local dashboard
+handler and the remote forwarder can subscribe side by side without
+the exporter knowing either exists.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.events.bus import EventBus
+from repro.events.remote import BatchForwarder
+from repro.orb.core import InterfaceDef, Servant, op
+from repro.orb.ior import IOR
+from repro.orb.retry import CircuitBreaker
+from repro.orb.typecodes import sequence_tc, tc_double, tc_string
+from repro.sim.kernel import Interrupt
+
+TOPIC = "metrics.snapshot"
+METER = "events.metrics"
+ADAPTER = "node"
+
+METRICS_SINK_IFACE = InterfaceDef(
+    "IDL:corbalc/Events/MetricsSink:1.0",
+    "MetricsSink",
+    operations=[
+        # One batch of counter samples from one host; parallel sequences
+        # keep the wire shape sequence-of-primitive (codegen tier).
+        op("ingest", [("host", tc_string),
+                      ("names", sequence_tc(tc_string)),
+                      ("values", sequence_tc(tc_double))],
+           oneway=True),
+    ],
+)
+
+
+class MetricsCollectorServant(Servant):
+    _interface = METRICS_SINK_IFACE
+
+    def __init__(self, collector: "MetricsCollector") -> None:
+        self.collector = collector
+
+    def ingest(self, host: str, names: list, values: list) -> None:
+        self.collector.accept(host, names, values)
+
+
+class MetricsCollector:
+    """Central sink: last-write-wins counter values per reporting host."""
+
+    def __init__(self, node, key: str = "metrics.collector") -> None:
+        self.node = node
+        self._key = key
+        #: host -> {counter name -> last value}
+        self.latest: dict[str, dict[str, float]] = {}
+        #: host -> sim time of the last ingested batch
+        self.last_seen: dict[str, float] = {}
+        self.batches = 0
+        self.samples = 0
+        self._servant = MetricsCollectorServant(self)
+        node.orb.adapter(ADAPTER).activate(self._servant, key=key)
+
+    @property
+    def ior(self) -> IOR:
+        return IOR(METRICS_SINK_IFACE.repo_id, self.node.host_id,
+                   ADAPTER, self._key)
+
+    def accept(self, host: str, names: Sequence[str],
+               values: Sequence[float]) -> None:
+        table = self.latest.setdefault(host, {})
+        for name, value in zip(names, values):
+            table[name] = value
+        self.last_seen[host] = self.node.env.now
+        self.batches += 1
+        self.samples += len(names)
+
+
+class MetricsExporter:
+    """Periodic counter snapshots published to a node's event bus."""
+
+    def __init__(self, node, bus: EventBus,
+                 collector_ior: Optional[IOR] = None,
+                 interval: float = 5.0,
+                 prefixes: Sequence[str] = ("orb.", "net.", "bus."),
+                 breaker: Optional[CircuitBreaker] = None,
+                 max_batch: int = 16, max_age: float = 0.25) -> None:
+        self.node = node
+        self.bus = bus
+        self.interval = interval
+        self.prefixes = tuple(prefixes)
+        self.snapshots = 0
+        self._sub = None
+        if collector_ior is not None:
+            forwarder = BatchForwarder(
+                node.orb, collector_ior,
+                METRICS_SINK_IFACE.operations["ingest"],
+                to_args=self._to_args, breaker=breaker, meter=METER)
+            self._sub = bus.batch_subscribe(
+                TOPIC, forwarder.deliver,
+                max_batch=max_batch, max_age=max_age)
+        self._proc = node.env.process(self._loop())
+        node.host.on_crash.append(self._on_crash)
+        node.host.on_restart.append(self._on_restart)
+
+    def _to_args(self, events) -> tuple:
+        # Snapshots in one batch all come from this node, so the batch
+        # collapses to one (host, names, values) triple; later samples
+        # of the same counter supersede earlier ones at the collector
+        # (last-write-wins), so plain concatenation is correct.
+        names: list[str] = []
+        values: list[float] = []
+        for event in events:
+            snap = event.payload
+            names.extend(snap)
+            values.extend(snap.values())
+        return (self.node.host_id, names, values)
+
+    def snapshot(self) -> dict[str, float]:
+        counters = self.node.metrics.counters()
+        return {name: value for name, value in counters.items()
+                if name.startswith(self.prefixes)}
+
+    def publish_now(self) -> None:
+        self.bus.publish(TOPIC, self.snapshot())
+        self.snapshots += 1
+
+    def _loop(self):
+        try:
+            while True:
+                yield self.node.env.timeout(self.interval)
+                self.publish_now()
+        except Interrupt:
+            return
+
+    def _on_crash(self, _host) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("host crashed")
+        self._proc = None
+        if self._sub is not None:
+            self._sub.clear()
+
+    def _on_restart(self, _host) -> None:
+        self._proc = self.node.env.process(self._loop())
+
+    def stop(self) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("exporter stopped")
+        self._proc = None

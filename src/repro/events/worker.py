@@ -1,0 +1,105 @@
+"""Bounded worker pools for asynchronous event handling.
+
+A :class:`WorkerPool` decouples publishers from handlers: ``submit``
+enqueues and returns immediately; ``workers`` simulation processes
+drain the queue and run the handler.  Handlers may be plain callables
+(run inline by the worker) or generator functions (driven with
+``yield from``, so a handler may perform timed work — remote calls,
+sleeps — while the pool keeps absorbing submissions).
+
+The queue is bounded with the same drop-oldest policy as
+:class:`~repro.events.batch_writer.BatchWriter`: past ``capacity`` the
+oldest queued item is discarded and counted in ``<name>.dropped``.  A
+handler that raises is counted (``<name>.errors``) and the worker
+survives — one poisoned event must not kill the subscriber.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.sim.kernel import Environment, Interrupt
+from repro.sim.stats import MetricRegistry
+from repro.util.errors import ConfigurationError
+
+
+class WorkerPool:
+    """N simulation processes draining one bounded FIFO queue."""
+
+    __slots__ = ("env", "handler", "capacity", "metrics", "name",
+                 "_queue", "_waiters", "_procs", "_stopped",
+                 "_ctr_handled", "_ctr_dropped", "_ctr_errors")
+
+    def __init__(self, env: Environment, handler: Callable,
+                 workers: int = 1, capacity: int = 1024,
+                 metrics: Optional[MetricRegistry] = None,
+                 name: str = "pool") -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, "
+                                     f"got {capacity}")
+        self.env = env
+        self.handler = handler
+        self.capacity = capacity
+        self.metrics = metrics or MetricRegistry()
+        self.name = name
+        self._queue: deque = deque()
+        self._waiters: list = []   # idle workers' wake events
+        self._stopped = False
+        self._ctr_handled = self.metrics.counter(f"{name}.handled")
+        self._ctr_dropped = self.metrics.counter(f"{name}.dropped")
+        self._ctr_errors = self.metrics.counter(f"{name}.errors")
+        self._procs = [env.process(self._worker()) for _ in range(workers)]
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def submit(self, item) -> None:
+        """Enqueue *item*; never blocks the caller."""
+        queue = self._queue
+        if len(queue) >= self.capacity:
+            queue.popleft()
+            self._ctr_dropped.value += 1
+        queue.append(item)
+        if self._waiters:
+            self._waiters.pop().succeed()
+
+    def clear(self) -> None:
+        """Drop everything queued without handling (crash semantics)."""
+        self._queue.clear()
+
+    def stop(self) -> None:
+        """Terminate the workers; queued items are abandoned."""
+        self._stopped = True
+        for proc in self._procs:
+            if proc.is_alive:
+                proc.interrupt("pool stopped")
+        self._procs = []
+
+    def _worker(self):
+        env = self.env
+        queue = self._queue
+        handler = self.handler
+        try:
+            while not self._stopped:
+                if not queue:
+                    wake = env.event()
+                    self._waiters.append(wake)
+                    yield wake
+                    continue
+                item = queue.popleft()
+                try:
+                    result = handler(item)
+                    if result is not None and hasattr(result, "throw"):
+                        yield from result
+                except Interrupt:
+                    raise
+                except Exception:
+                    self._ctr_errors.value += 1
+                    continue
+                self._ctr_handled.value += 1
+        except Interrupt:
+            return

@@ -105,6 +105,7 @@ class Node:
         obs=None,
         dispatch_workers: Optional[int] = None,
         dispatch_limit: Optional[int] = None,
+        pipeline_window: Optional[float] = None,
     ) -> None:
         self.env = env
         self.network = network
@@ -116,7 +117,8 @@ class Node:
         self.orb = ORB(env, network, host_id,
                        default_timeout=default_timeout,
                        dispatch_workers=dispatch_workers,
-                       dispatch_limit=dispatch_limit)
+                       dispatch_limit=dispatch_limit,
+                       pipeline_window=pipeline_window)
         if obs is not None:
             obs.install(self.orb)
         self.resources = ResourceManager(env, self.host)

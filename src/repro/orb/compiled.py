@@ -28,6 +28,7 @@ values back, matching ``BAD_PARAM`` on bad input — is enforced by
 from __future__ import annotations
 
 import struct as _struct
+import weakref
 from collections import OrderedDict
 from typing import Callable, Optional
 
@@ -996,9 +997,23 @@ def get_plan(tc: TypeCode) -> CodecPlan:
 
 
 def clear_cache() -> None:
-    """Drop all cached plans (tests / memory pressure)."""
+    """Drop all cached plans (tests / memory pressure).
+
+    Also invalidates every :class:`OperationCodec` memoized on an
+    OperationDef: those codecs hold pre-bound plan handles compiled at
+    the old tier, and keeping them alive across a tier switch
+    (``set_codegen``) would let ablation runs silently keep executing
+    generated code.  The hot-path readers fall back to :func:`op_codec`
+    on AttributeError and re-memoize at the current tier.
+    """
     _ID_CACHE.clear()
     _EQ_CACHE.clear()
+    for odef in tuple(_MEMOIZED_ODEFS):
+        try:
+            object.__delattr__(odef, "_codec")
+        except AttributeError:
+            pass
+    _MEMOIZED_ODEFS.clear()
 
 
 def cache_size() -> int:
@@ -1034,16 +1049,25 @@ class OperationCodec:
         return [plan.decode(dec) for plan in self.in_plans]
 
 
+#: OperationDefs carrying a memoized ``_codec``, tracked weakly so
+#: :func:`clear_cache` can strip stale codecs on a tier switch without
+#: pinning definitions in memory.
+_MEMOIZED_ODEFS: "weakref.WeakSet" = weakref.WeakSet()
+
+
 def op_codec(odef) -> OperationCodec:
     """Cached per-operation codec, stored on the OperationDef itself.
 
     OperationDef is a frozen dataclass, so the memo goes in via
-    ``object.__setattr__``; it never invalidates because the definition
-    is immutable.  Hot paths may read ``odef._codec`` directly (guarded
-    by AttributeError) to skip even this call."""
+    ``object.__setattr__``; the definition is immutable, but the memo is
+    dropped by :func:`clear_cache` (and thus :func:`set_codegen`)
+    because the codec binds tier-specific plan handles.  Hot paths may
+    read ``odef._codec`` directly (guarded by AttributeError) to skip
+    even this call."""
     try:
         return odef._codec
     except AttributeError:
         codec = OperationCodec(odef)
         object.__setattr__(odef, "_codec", codec)
+        _MEMOIZED_ODEFS.add(odef)
         return codec

@@ -420,6 +420,23 @@ class _DispatchSlots:
         return len(self._waiters)
 
 
+class _PipeChannel:
+    """Per-destination buffer of encoded oneway frames awaiting a flush.
+
+    ``token`` versions the armed flush timer: arming bumps it and any
+    timer carrying a stale token is a no-op, so an early flush (size or
+    byte threshold) can never be followed by a spurious empty flush.
+    """
+
+    __slots__ = ("frames", "nbytes", "token", "armed")
+
+    def __init__(self) -> None:
+        self.frames: list[bytes] = []
+        self.nbytes = 0
+        self.token = 0
+        self.armed = False
+
+
 class ORB:
     """One Object Request Broker per simulated host."""
 
@@ -439,6 +456,9 @@ class ORB:
         reply_deadline: Optional[float] = REPLY_DEADLINE,
         dispatch_workers: Optional[int] = None,
         dispatch_limit: Optional[int] = None,
+        pipeline_window: Optional[float] = None,
+        pipeline_max_frames: int = 64,
+        pipeline_max_bytes: int = 16384,
     ) -> None:
         self.env = env
         self.network = network
@@ -479,6 +499,21 @@ class ORB:
         #: subsequent push/pop with deeper sifts.
         self._deadline_heap: list[tuple] = []
         self._deadline_armed_at = float("inf")
+        #: versions the armed sweeper: every (re-)arm bumps it and a
+        #: firing timer whose token is stale returns immediately, so at
+        #: most one live sweeper exists no matter how often an earlier
+        #: deadline preempts a later one (a preempted timer must not
+        #: re-arm a duplicate when it finally fires).
+        self._deadline_token = 0
+        #: GIOP request pipelining: when ``pipeline_window`` is set,
+        #: oneway sends sharing a destination within the window are
+        #: framed into one MSG_MULTI transmission (one header, one link
+        #: charge) instead of one message each.
+        self.pipeline_window = pipeline_window
+        self.pipeline_max_frames = min(pipeline_max_frames,
+                                       giop.MAX_MULTI_FRAMES)
+        self.pipeline_max_bytes = pipeline_max_bytes
+        self._pipe_channels: dict[str, _PipeChannel] = {}
         #: called with cpu-seconds on every dispatch (resource accounting)
         self.dispatch_listeners: list[Callable[[float], None]] = []
         #: called with the pending-table depth on every add/remove.
@@ -654,13 +689,123 @@ class ORB:
             # Per-protocol bandwidth attribution (benchmarks rely on it).
             self.metrics.counter(f"{meter}.msgs").inc()
             self.metrics.counter(f"{meter}.bytes").inc(len(wire))
-        self.network.send(self.host_id, ior.host_id, "giop", wire, len(wire))
+        if self.pipeline_window is not None:
+            self._pipe_send(ior.host_id, wire)
+        else:
+            self.network.send(self.host_id, ior.host_id, "giop", wire,
+                              len(wire))
         if info is not None:
             info.request_bytes = len(wire)
             info.end = self.env.now
             for icpt in reversed(self._client_interceptors):
                 icpt.receive_reply(info)
         return len(wire)
+
+    def send_oneway_fanout(
+        self,
+        iors: Sequence[IOR],
+        odef: OperationDef,
+        args: Sequence[TAny],
+        meter: Optional[str] = None,
+    ) -> int:
+        """Fan one oneway out to many targets, marshalling args once.
+
+        The argument body is encoded a single time and shared by every
+        per-destination frame — only the routing prefix and request id
+        differ — so wide fan-outs (batched event forwarding above all)
+        stop paying the marshal cost once per subscriber.  Semantics
+        per target are exactly :meth:`send_oneway`.  Returns total wire
+        bytes.
+        """
+        if not odef.oneway:
+            raise BAD_PARAM(
+                f"{odef.name} expects a response; use invoke() instead"
+            )
+        enc = self._marshal_args_pooled(odef, args)
+        ctr_oneways = self.metrics.counter("orb.oneways")
+        pipelined = self.pipeline_window is not None
+        total = 0
+        for ior in iors:
+            self._next_request_id += 1
+            request_id = self._next_request_id
+            info, service_context = self._client_send_hooks(
+                ior, odef, request_id, meter, oneway=True)
+            wire = giop.encode_request(
+                request_id, False, self._request_prefix(ior, odef.name),
+                enc._buf, service_context)
+            self._ctr_requests.inc()
+            ctr_oneways.inc()
+            if meter is not None:
+                self.metrics.counter(f"{meter}.msgs").inc()
+                self.metrics.counter(f"{meter}.bytes").inc(len(wire))
+            if pipelined:
+                self._pipe_send(ior.host_id, wire)
+            else:
+                self.network.send(self.host_id, ior.host_id, "giop",
+                                  wire, len(wire))
+            total += len(wire)
+            if info is not None:
+                info.request_bytes = len(wire)
+                info.end = self.env.now
+                for icpt in reversed(self._client_interceptors):
+                    icpt.receive_reply(info)
+        enc.reset()
+        self._release_encoder(enc)
+        return total
+
+    # -- GIOP request pipelining -------------------------------------------
+    def _pipe_send(self, dst: str, wire: bytes) -> None:
+        """Buffer one encoded oneway for *dst*; flush on thresholds.
+
+        Frames accumulate until ``pipeline_max_frames`` / ``_max_bytes``
+        force an immediate flush, or the ``pipeline_window`` age timer
+        fires — whichever comes first.  Send order is preserved: frames
+        are appended here and unpacked in order by the receiving ORB.
+        """
+        chan = self._pipe_channels.get(dst)
+        if chan is None:
+            chan = self._pipe_channels[dst] = _PipeChannel()
+        chan.frames.append(wire)
+        chan.nbytes += len(wire)
+        if (len(chan.frames) >= self.pipeline_max_frames
+                or chan.nbytes >= self.pipeline_max_bytes):
+            self._flush_channel(dst, chan)
+        elif not chan.armed:
+            chan.armed = True
+            chan.token += 1
+            Timeout(self.env, self.pipeline_window,
+                    (dst, chan.token)).callbacks.append(self._pipe_timer)
+
+    def _pipe_timer(self, ev) -> None:
+        dst, token = ev._value
+        chan = self._pipe_channels.get(dst)
+        if chan is None or chan.token != token:
+            return  # superseded by an earlier threshold flush
+        self._flush_channel(dst, chan)
+
+    def _flush_channel(self, dst: str, chan: _PipeChannel) -> None:
+        frames = chan.frames
+        if not frames:
+            chan.armed = False
+            return
+        chan.frames = []
+        chan.nbytes = 0
+        chan.armed = False
+        chan.token += 1  # invalidate any armed window timer
+        if len(frames) == 1:
+            wire = frames[0]
+            self.network.send(self.host_id, dst, "giop", wire, len(wire))
+            return
+        wire = giop.encode_multi(frames)
+        self.metrics.counter("orb.pipeline.flushes").inc()
+        self.metrics.counter("orb.pipeline.frames").inc(len(frames))
+        self.network.send(self.host_id, dst, "giop", wire, len(wire),
+                          frames=len(frames))
+
+    def flush_pipelines(self) -> None:
+        """Force-flush every buffered pipeline channel now."""
+        for dst, chan in self._pipe_channels.items():
+            self._flush_channel(dst, chan)
 
     def invoke(
         self,
@@ -751,15 +896,28 @@ class ORB:
             heappush(self._deadline_heap,
                      (when, request_id, odef.name, ior.host_id, deadline))
             if when < self._deadline_armed_at:
+                # Preempt the armed sweeper: bumping the token turns the
+                # old (later) timer into a no-op, so exactly one live
+                # sweeper exists — the old one must not fire a duplicate
+                # re-arm, which would grow the kernel heap by one stale
+                # timer per preemption (the per-call-timer leak this
+                # heap exists to avoid).
                 self._deadline_armed_at = when
-                Timeout(self.env, deadline).callbacks.append(
+                self._deadline_token += 1
+                Timeout(self.env, deadline,
+                        self._deadline_token).callbacks.append(
                     self._sweep_deadlines)
         return reply_event
 
-    def _sweep_deadlines(self, _ev) -> None:
+    def _sweep_deadlines(self, ev) -> None:
         """Expire every overdue pending call, then re-arm for the next
         deadline.  Entries whose call already completed were removed
-        from ``_pending`` and are simply dropped here."""
+        from ``_pending`` and are simply dropped here.  A timer whose
+        token is stale was preempted by an earlier-armed sweeper and
+        must do nothing: sweeping is harmless, but its re-arm would
+        duplicate the live sweeper."""
+        if ev._value != self._deadline_token:
+            return  # preempted: the live sweeper covers the heap
         heap = self._deadline_heap
         now = self.env.now
         while heap and heap[0][0] <= now:
@@ -777,7 +935,9 @@ class ORB:
         if heap:
             nxt = heap[0][0]
             self._deadline_armed_at = nxt
-            self.env.timeout(nxt - now).callbacks.append(
+            self._deadline_token += 1
+            Timeout(self.env, nxt - now,
+                    self._deadline_token).callbacks.append(
                 self._sweep_deadlines)
         else:
             self._deadline_armed_at = float("inf")
@@ -809,21 +969,41 @@ class ORB:
             # crash the node's message handler.
             self.metrics.counter("orb.bad_messages").inc()
             return
+        if type(decoded) is giop.MultiMessage:
+            # Unpack a pipelined transmission: every logical message
+            # takes the same admission/dispatch path it would have taken
+            # arriving alone, so coalescing can never smuggle a request
+            # past the dispatch-table bound.  A corrupted frame is
+            # counted and skipped without losing its neighbours.
+            for frame in decoded.frames:
+                try:
+                    sub = giop._decode_message_body(frame)
+                except Exception:
+                    self.metrics.counter("orb.bad_messages").inc()
+                    continue
+                if type(sub) is giop.MultiMessage:  # no nesting
+                    self.metrics.counter("orb.bad_messages").inc()
+                    continue
+                self._handle_decoded(sub, msg.src, len(frame))
+            return
+        self._handle_decoded(decoded, msg.src, len(msg.payload))
+
+    def _handle_decoded(self, decoded, src: str, wire_size: int) -> None:
+        """Admit and dispatch one logical message (request or reply)."""
         if isinstance(decoded, giop.RequestMessage):
             if (self.dispatch_limit is not None
                     and self._inflight >= self.dispatch_limit):
-                self._shed(decoded, msg.src)
+                self._shed(decoded, src)
                 return
             self._inflight += 1
             if self.dispatch_watchers:
                 self._watch_dispatch()
             if (self._slots is None and not self._server_interceptors
-                    and self._dispatch_fast(decoded, msg.src)):
+                    and self._dispatch_fast(decoded, src)):
                 return
-            self.env.process(self._dispatch(decoded, msg.src,
-                                            len(msg.payload)))
+            self.env.process(self._dispatch(decoded, src, wire_size))
         else:
-            self._complete(decoded, len(msg.payload))
+            self._complete(decoded, wire_size)
 
     def _shed(self, request: giop.RequestMessage, client: str) -> None:
         """Load-shed an inbound request: the dispatch table is full.
@@ -831,7 +1011,9 @@ class ORB:
         The reply is a tiny TRANSIENT (minor = shed) sent without
         running interceptors or touching a worker slot, so a saturated
         node spends almost nothing per rejected call — the property
-        that keeps goodput up under overload.
+        that keeps goodput up under overload.  A oneway is shed
+        silently (its sender expects no reply) but separately counted:
+        bus-driven fan-out floods must stay visible to operators.
         """
         self.metrics.counter("orb.shed").inc()
         if request.response_expected:
@@ -840,6 +1022,8 @@ class ORB:
                 f"on {self.host_id}",
                 minor=MINOR_SHED, completed=COMPLETED_NO,
             ))
+        else:
+            self.metrics.counter("orb.shed.oneway").inc()
 
     # -- server side -------------------------------------------------------------
     def _dispatch(self, request: giop.RequestMessage, client: str,
@@ -1223,3 +1407,10 @@ class ORB:
         for event, _odef, _info in pending.values():
             if not event.triggered:
                 event.fail(COMM_FAILURE("host crashed")).defused()
+        # Buffered pipeline frames die with the host: a crashed sender
+        # must not flush stale oneways after restart.
+        for chan in self._pipe_channels.values():
+            chan.frames.clear()
+            chan.nbytes = 0
+            chan.armed = False
+            chan.token += 1

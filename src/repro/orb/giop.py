@@ -32,11 +32,17 @@ from repro.orb.exceptions import BAD_PARAM, MARSHAL
 
 MSG_REQUEST = 0
 MSG_REPLY = 1
+MSG_MULTI = 2
 
 #: Hard cap on service-context slots accepted from the wire.  Legitimate
 #: senders carry a handful (trace/span ids); a corrupted count must not
 #: drive thousands of decode attempts or allocations.
 MAX_SERVICE_CONTEXT_SLOTS = 32
+
+#: Hard cap on logical frames accepted inside one MSG_MULTI transmission.
+#: Senders flush well below this (the ORB's pipeline thresholds); a
+#: corrupted count must not drive thousands of frame allocations.
+MAX_MULTI_FRAMES = 512
 
 NO_EXCEPTION = 0
 USER_EXCEPTION = 1
@@ -50,6 +56,7 @@ _VALID_STATUS = (NO_EXCEPTION, USER_EXCEPTION, SYSTEM_EXCEPTION)
 # alignment, then the header fields).
 _REQ_HEAD = _struct.Struct(">B3xI?")   # msg_type, request_id, response_expected
 _REPLY_HEAD = _struct.Struct(">B3xII")  # msg_type, request_id, status
+_MULTI_HEAD = _struct.Struct(">B3xI")   # msg_type, frame count
 _ULONG = _struct.Struct(">I")
 
 
@@ -148,6 +155,59 @@ class ReplyMessage:
 
     def encode(self) -> bytes:
         return encode_reply(self.request_id, self.status, self.body)
+
+
+class MultiMessage:
+    """A pipelined GIOP transmission: many logical messages, one frame.
+
+    Small requests sharing a link within a flush window are coalesced
+    into one MSG_MULTI so the simulated network charges one header and
+    one per-message delivery for the whole burst.  ``frames`` holds the
+    *encoded* sub-messages in send order; the receiving ORB decodes and
+    dispatches each one through its normal per-message path, so a
+    corrupted frame can be rejected without losing its neighbours.
+    """
+
+    __slots__ = ("frames",)
+
+    def __init__(self, frames: tuple) -> None:
+        self.frames = tuple(frames)
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not MultiMessage:
+            return NotImplemented
+        return self.frames == other.frames
+
+    def __hash__(self) -> int:
+        return hash(self.frames)
+
+    def __repr__(self) -> str:
+        return f"MultiMessage({len(self.frames)} frames)"
+
+    def encode(self) -> bytes:
+        return encode_multi(self.frames)
+
+
+def encode_multi(frames) -> bytes:
+    """Frame *frames* (encoded GIOP messages) as one MSG_MULTI.
+
+    Wire form: ``octet MSG_MULTI, 3 pad, ulong count`` then per frame
+    ``ulong length, bytes, pad to 4``.  Each element may be ``bytes``,
+    ``bytearray`` or ``memoryview``.
+    """
+    if not frames:
+        raise BAD_PARAM("cannot encode an empty MSG_MULTI")
+    if len(frames) > MAX_MULTI_FRAMES:
+        raise BAD_PARAM(f"{len(frames)} frames exceed the MSG_MULTI cap "
+                        f"{MAX_MULTI_FRAMES}")
+    buf = bytearray(_MULTI_HEAD.pack(MSG_MULTI, len(frames)))
+    for frame in frames:
+        buf += _ULONG.pack(len(frame))
+        buf += frame
+        pad = (-len(buf)) & 3
+        if pad:
+            buf += b"\x00" * pad
+    return bytes(buf)
 
 
 def encode_request_prefix(host: str, adapter: str, object_key: str,
@@ -331,4 +391,28 @@ def _decode_message_body(data) -> "RequestMessage | ReplyMessage":
             raise BAD_PARAM(f"CDR underflow: need {blen} bytes at {pos}, "
                             f"have {len(data) - pos}")
         return ReplyMessage(request_id, status, data[pos:pos + blen])
+    if msg_type == MSG_MULTI:
+        _, count = _MULTI_HEAD.unpack_from(data, 0)
+        pos = _MULTI_HEAD.size
+        if count == 0:
+            raise MARSHAL("MSG_MULTI with zero frames")
+        if count > MAX_MULTI_FRAMES:
+            raise MARSHAL(f"MSG_MULTI frame count {count} exceeds cap "
+                          f"{MAX_MULTI_FRAMES}")
+        # Each frame needs at least its 4-byte length word; bound the
+        # loop by the bytes actually present before allocating anything.
+        if count * 4 > len(data) - pos:
+            raise MARSHAL(f"MSG_MULTI frame count {count} exceeds "
+                          f"{len(data) - pos} remaining bytes")
+        frames = []
+        for _ in range(count):
+            (flen,) = _ULONG.unpack_from(data, pos)
+            pos += 4
+            if flen > len(data) - pos:
+                raise BAD_PARAM(f"CDR underflow: need {flen} bytes at "
+                                f"{pos}, have {len(data) - pos}")
+            frames.append(data[pos:pos + flen])
+            pos += flen
+            pos += (-pos) & 3
+        return MultiMessage(tuple(frames))
     raise BAD_PARAM(f"unknown GIOP message type {msg_type}")

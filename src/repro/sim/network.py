@@ -55,6 +55,9 @@ class Message:
     #: optional out-of-band metadata; None (not a fresh dict) by default
     #: so the hot send path skips an allocation per message.
     headers: Optional[dict[str, Any]] = None
+    #: logical messages carried in this transfer (> 1 for a pipelined
+    #: multi-frame transmission; the payload still travels as one unit).
+    frames: int = 1
 
     @property
     def total_size(self) -> int:
@@ -115,6 +118,7 @@ class Network:
         self._loss_rng = self.rngs.stream("net.loss")
         # Hot-path metric handles, resolved once instead of per message.
         self._ctr_messages = self.metrics.counter("net.messages")
+        self._ctr_logical = self.metrics.counter("net.logical")
         self._ctr_local = self.metrics.counter("net.local")
         self._ctr_bytes = self.metrics.counter("net.bytes")
         self._ctr_hops = self.metrics.counter("net.hops")
@@ -142,8 +146,14 @@ class Network:
         return iface
 
     # -- sending ---------------------------------------------------------
-    def send(self, src: str, dst: str, port: str, payload: Any, size: int) -> Message:
+    def send(self, src: str, dst: str, port: str, payload: Any, size: int,
+             frames: int = 1) -> Message:
         """Send *payload* of *size* bytes from *src* to *dst*:*port*.
+
+        *frames* counts the logical messages the payload carries (1 for
+        an ordinary send; the per-destination frame count for a
+        pipelined multi-frame transmission, which is charged as *one*
+        header and one link transfer — the coalescing saving).
 
         Always returns the Message object; whether it arrives depends on
         routes, loss and destination liveness.
@@ -154,7 +164,10 @@ class Network:
         self._msg_seq += 1
         msg = Message(self._msg_seq, src, dst, port, payload,
                       int(size), env._now)
+        if frames != 1:
+            msg.frames = frames
         self._ctr_messages.value += 1
+        self._ctr_logical.value += frames
 
         src_host = self._host_memo.get(src)
         if src_host is None:

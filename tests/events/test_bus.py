@@ -1,0 +1,144 @@
+"""EventBus: topic routing, fan-out decoupling, batched subscriptions."""
+
+import pytest
+
+from repro.events.bus import EventBus
+from repro.sim.kernel import Environment
+from repro.sim.stats import MetricRegistry
+from repro.util.errors import ConfigurationError
+
+
+def make_bus():
+    env = Environment()
+    metrics = MetricRegistry()
+    return env, metrics, EventBus(env, metrics)
+
+
+class TestRouting:
+    def test_exact_topic_match(self):
+        env, metrics, bus = make_bus()
+        got_a, got_b = [], []
+        bus.subscribe("alpha", lambda ev: got_a.append(ev.payload))
+        bus.subscribe("beta", lambda ev: got_b.append(ev.payload))
+        bus.publish("alpha", 1)
+        bus.publish("beta", 2)
+        bus.publish("gamma", 3)
+        env.run(until=0.1)
+        assert got_a == [1]
+        assert got_b == [2]
+        assert metrics.get("bus.no_subscriber") == 1
+        assert metrics.get("bus.published") == 3
+        assert metrics.get("bus.delivered") == 2
+
+    def test_wildcard_prefix_and_catch_all(self):
+        env, _metrics, bus = make_bus()
+        sup, everything = [], []
+        bus.subscribe("supervisor.*", lambda ev: sup.append(ev.topic))
+        bus.subscribe("*", lambda ev: everything.append(ev.topic))
+        bus.publish("supervisor.recovery")
+        bus.publish("supervisor.promotion")
+        bus.publish("registry.views")
+        env.run(until=0.1)
+        assert sup == ["supervisor.recovery", "supervisor.promotion"]
+        assert len(everything) == 3
+
+    def test_bad_patterns_rejected(self):
+        _env, _metrics, bus = make_bus()
+        with pytest.raises(ConfigurationError):
+            bus.subscribe("", lambda ev: None)
+        with pytest.raises(ConfigurationError):
+            bus.subscribe("foo*", lambda ev: None)   # not 'foo.*'
+
+    def test_events_carry_time_and_ordered_seq(self):
+        env, _metrics, bus = make_bus()
+        seen = []
+        bus.subscribe("t", seen.append)
+
+        def feed():
+            bus.publish("t", "x")
+            yield env.timeout(2.5)
+            bus.publish("t", "y")
+
+        env.run(until=env.process(feed()))
+        env.run(until=5.0)
+        assert [ev.payload for ev in seen] == ["x", "y"]
+        assert seen[0].time == 0.0 and seen[1].time == 2.5
+        assert seen[0].seq < seen[1].seq
+
+
+class TestDecoupling:
+    def test_publish_returns_before_handlers_run(self):
+        env, _metrics, bus = make_bus()
+        ran = []
+        bus.subscribe("t", lambda ev: ran.append(ev.payload))
+        bus.publish("t", 1)
+        assert ran == []            # asynchronous: nothing ran inline
+        env.run(until=0.1)
+        assert ran == [1]
+
+    def test_slow_subscriber_does_not_block_fast_one(self):
+        env, _metrics, bus = make_bus()
+        fast, slow = [], []
+
+        def slow_handler(ev):
+            yield env.timeout(10.0)
+            slow.append(ev.payload)
+
+        bus.subscribe("t", slow_handler)
+        bus.subscribe("t", lambda ev: fast.append(ev.payload))
+        for i in range(3):
+            bus.publish("t", i)
+        env.run(until=1.0)
+        assert fast == [0, 1, 2]    # fast sub done long before slow
+        assert slow == []
+
+    def test_subscriber_overflow_sheds_into_bus_dropped(self):
+        env, metrics, bus = make_bus()
+
+        def wedge(ev):
+            yield env.timeout(100.0)
+
+        bus.subscribe("t", wedge, capacity=2)
+        for i in range(8):
+            bus.publish("t", i)
+        # All 8 published before the worker ran: only the newest 2 fit.
+        env.run(until=1.0)
+        assert metrics.get("bus.dropped") == 6
+
+
+class TestBatchedSubscriptions:
+    def test_batches_by_size_and_age(self):
+        env, _metrics, bus = make_bus()
+        batches = []
+        bus.batch_subscribe(
+            "t", lambda evs: batches.append([e.payload for e in evs]),
+            max_batch=3, max_age=0.5)
+        for i in range(4):
+            bus.publish("t", i)
+        assert batches == [[0, 1, 2]]            # size flush, inline
+        env.run(until=1.0)
+        assert batches == [[0, 1, 2], [3]]       # age flush for the tail
+
+    def test_bus_flush_forces_all_batched_subs(self):
+        env, _metrics, bus = make_bus()
+        batches = []
+        bus.batch_subscribe("a", batches.append, max_batch=100,
+                            max_age=60.0)
+        bus.batch_subscribe("b.*", batches.append, max_batch=100,
+                            max_age=60.0)
+        bus.publish("a", 1)
+        bus.publish("b.x", 2)
+        bus.flush()
+        assert len(batches) == 2
+
+    def test_unsubscribe_stops_delivery(self):
+        env, _metrics, bus = make_bus()
+        got = []
+        sub = bus.subscribe("t", lambda ev: got.append(ev.payload))
+        bus.publish("t", 1)
+        env.run(until=0.1)
+        sub.cancel()
+        bus.publish("t", 2)
+        env.run(until=0.5)
+        assert got == [1]
+        assert bus.subscriptions() == []

@@ -1,0 +1,125 @@
+"""WorkerPool: async draining, bounded queue, handler fault isolation."""
+
+import pytest
+
+from repro.events.worker import WorkerPool
+from repro.sim.kernel import Environment
+from repro.sim.stats import MetricRegistry
+from repro.util.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_bad_params_rejected(self):
+        env = Environment()
+        with pytest.raises(ConfigurationError):
+            WorkerPool(env, lambda item: None, workers=0)
+        with pytest.raises(ConfigurationError):
+            WorkerPool(env, lambda item: None, capacity=0)
+
+
+class TestDraining:
+    def test_submit_never_blocks_and_all_handled(self):
+        env = Environment()
+        metrics = MetricRegistry()
+        seen = []
+        pool = WorkerPool(env, seen.append, metrics=metrics, name="pool")
+        for i in range(20):
+            pool.submit(i)
+        env.run(until=1.0)
+        assert seen == list(range(20))
+        assert metrics.get("pool.handled") == 20
+        assert pool.pending == 0
+
+    def test_generator_handlers_overlap_across_workers(self):
+        env = Environment()
+        finished = []
+
+        def handler(item):
+            yield env.timeout(1.0)
+            finished.append((env.now, item))
+
+        pool = WorkerPool(env, handler, workers=4,
+                          metrics=MetricRegistry())
+        for i in range(4):
+            pool.submit(i)
+        env.run(until=1.5)
+        # Four workers ran the four 1 s jobs concurrently.
+        assert sorted(item for _t, item in finished) == [0, 1, 2, 3]
+        assert all(t == pytest.approx(1.0) for t, _ in finished)
+
+    def test_single_worker_serializes(self):
+        env = Environment()
+        finished = []
+
+        def handler(item):
+            yield env.timeout(1.0)
+            finished.append(env.now)
+
+        pool = WorkerPool(env, handler, workers=1,
+                          metrics=MetricRegistry())
+        for i in range(3):
+            pool.submit(i)
+        env.run(until=10.0)
+        assert finished == [pytest.approx(1.0), pytest.approx(2.0),
+                            pytest.approx(3.0)]
+
+    def test_workers_idle_then_wake_on_submit(self):
+        env = Environment()
+        seen = []
+        pool = WorkerPool(env, seen.append, metrics=MetricRegistry())
+        env.run(until=5.0)          # pool idles without busy-looping
+        pool.submit("late")
+        env.run(until=6.0)
+        assert seen == ["late"]
+
+
+class TestBounds:
+    def test_drop_oldest_past_capacity(self):
+        env = Environment()
+        metrics = MetricRegistry()
+        seen = []
+
+        def handler(item):
+            yield env.timeout(10.0)   # wedge the single worker
+            seen.append(item)
+
+        pool = WorkerPool(env, handler, workers=1, capacity=3,
+                          metrics=metrics, name="pool")
+        pool.submit("wedged")
+        env.run(until=0.1)           # worker now holds "wedged"
+        for i in range(6):
+            pool.submit(i)
+        assert pool.pending == 3
+        assert metrics.get("pool.dropped") == 3
+        env.run(until=50.0)
+        assert seen == ["wedged", 3, 4, 5]
+
+
+class TestFaultIsolation:
+    def test_handler_exception_counted_worker_survives(self):
+        env = Environment()
+        metrics = MetricRegistry()
+        seen = []
+
+        def handler(item):
+            if item == "bad":
+                raise RuntimeError("poisoned event")
+            seen.append(item)
+
+        pool = WorkerPool(env, handler, metrics=metrics, name="pool")
+        for item in ("a", "bad", "b"):
+            pool.submit(item)
+        env.run(until=1.0)
+        assert seen == ["a", "b"]
+        assert metrics.get("pool.errors") == 1
+        assert metrics.get("pool.handled") == 2
+
+    def test_stop_terminates_workers(self):
+        env = Environment()
+        pool = WorkerPool(env, lambda item: None,
+                          metrics=MetricRegistry())
+        env.run(until=0.1)
+        pool.stop()
+        pool.submit("ignored")
+        env.run(until=1.0)           # no crash, nothing handled
+        assert pool.pending == 1

@@ -200,3 +200,30 @@ def test_make_batcher_lru_keeps_hot_entry_and_bounds_cache():
     # Cold early shapes were evicted (they would only be present if the
     # cache grew without bound).
     assert (0, 2) not in batch.cache
+
+
+# -- operation-codec memo invalidation ----------------------------------------
+
+def test_set_codegen_false_invalidates_memoized_op_codecs():
+    # Regression: the per-OperationDef codec memo survived tier
+    # switches, so an ablation run flipping set_codegen(False) kept
+    # executing stale codegen-tier codecs on every operation memoized
+    # before the switch.
+    from repro.orb.compiled import op_codec
+    from repro.orb.core import InterfaceDef, op
+
+    iface = InterfaceDef("IDL:test/Memo:1.0", "Memo", operations=[
+        op("put", [("v", SUPPORTED_TC)], tc_long),
+    ])
+    odef = iface.operations["put"]
+    hot = op_codec(odef)
+    assert hot.in_plans[0].tier == "codegen"
+    assert op_codec(odef) is hot           # memoized on the odef
+
+    set_codegen(False)
+    cold = op_codec(odef)
+    assert cold is not hot                 # memo was dropped
+    assert cold.in_plans[0].tier != "codegen"
+
+    set_codegen(True)
+    assert op_codec(odef).in_plans[0].tier == "codegen"
