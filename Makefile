@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test selftest lint bench bench-orb bench-eventbus faults fuzz
+.PHONY: check test selftest lint bench bench-orb bench-eventbus \
+	bench-federation faults fuzz
 
 # The one-stop gate: descriptor lint, observability + availability +
 # static-gate end-to-end selftests, then the full tier-1 suite.
@@ -18,6 +19,7 @@ selftest:
 	$(PYTHON) benchmarks/bench_lint_gate.py --selftest
 	$(PYTHON) benchmarks/bench_orb_floor.py --selftest
 	$(PYTHON) benchmarks/bench_eventbus.py --selftest
+	$(PYTHON) benchmarks/bench_federation.py --selftest
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -40,3 +42,7 @@ bench-orb:
 # regenerate BENCH_eventbus.json (C17 batched fan-out vs p2p oneways)
 bench-eventbus:
 	$(PYTHON) benchmarks/bench_to_json.py --suite eventbus
+
+# regenerate BENCH_federation.json (C18 sharded registry vs flat flood)
+bench-federation:
+	$(PYTHON) benchmarks/bench_to_json.py --suite federation

@@ -6,11 +6,14 @@ headline numbers (CDR marshalling MB/s, invocations per second),
 compares them against the recorded pre-optimisation interpreter
 baseline, and writes ``BENCH_orb.json`` at the repository root.
 ``--suite eventbus`` runs ``bench_eventbus.py`` (C17) the same way and
-writes ``BENCH_eventbus.json``.  Both keep a ``history`` array of
-prior ``current`` blocks across regenerations.
+writes ``BENCH_eventbus.json``; ``--suite federation`` runs
+``bench_federation.py`` (C18) and writes ``BENCH_federation.json``.
+All keep a ``history`` array of prior ``current`` blocks across
+regenerations.
 
     PYTHONPATH=src python benchmarks/bench_to_json.py
     PYTHONPATH=src python benchmarks/bench_to_json.py --suite eventbus
+    PYTHONPATH=src python benchmarks/bench_to_json.py --suite federation
 """
 
 from __future__ import annotations
@@ -26,6 +29,7 @@ import tempfile
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUT = ROOT / "BENCH_orb.json"
 OUT_EVENTBUS = ROOT / "BENCH_eventbus.json"
+OUT_FEDERATION = ROOT / "BENCH_federation.json"
 
 # Measured on this repo immediately before the compiled-codec PR, when
 # every encode/decode walked the TypeCode interpreter.  Kept here so the
@@ -164,14 +168,68 @@ def distill_eventbus(raw: dict, history: list) -> dict:
     }
 
 
+def distill_federation(raw: dict, history: list) -> dict:
+    by_name = {}
+    for bench in raw.get("benchmarks", []):
+        name = bench["name"].split("[")[0]
+        by_name[name] = {
+            "mean_s": bench["stats"]["mean"],
+            "stddev_s": bench["stats"]["stddev"],
+            "rounds": bench["stats"]["rounds"],
+            **bench.get("extra_info", {}),
+        }
+    scaling = by_name.get("test_federation_scaling", {})
+    current = {
+        "label": "consistent-hash shards + epidemic gossip",
+        "hosts": scaling.get("hosts"),
+        "lookup_p50_sharded_s": scaling.get("p50_sharded"),
+        "lookup_p99_sharded_s": scaling.get("p99_sharded"),
+        "lookup_p50_flood_s": scaling.get("p50_flood"),
+        "lookup_p99_flood_s": scaling.get("p99_flood"),
+        "speedup_p99": scaling.get("speedup_p99"),
+        "convergence_s": scaling.get("convergence_s"),
+        "convergence_rounds": scaling.get("convergence_rounds"),
+        "churn_killed": scaling.get("churn_killed"),
+        "partition_s": scaling.get("partition_s"),
+        "messages_sharded": scaling.get("messages_sharded"),
+        "messages_flood": scaling.get("messages_flood"),
+    }
+    return {
+        "generated": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "bench": "bench_federation.py (C18)",
+        "machine": raw.get("machine_info", {}).get("cpu", {}).get(
+            "brand_raw", "unknown"),
+        "current": current,
+        "history": history,
+        "raw": by_name,
+    }
+
+
 def main() -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
         description="distill benchmark suites into BENCH_*.json")
-    parser.add_argument("--suite", choices=("orb", "eventbus"),
+    parser.add_argument("--suite",
+                        choices=("orb", "eventbus", "federation"),
                         default="orb")
     args = parser.parse_args()
+
+    if args.suite == "federation":
+        result = distill_federation(
+            run_benchmarks("bench_federation.py"),
+            load_history(OUT_FEDERATION))
+        OUT_FEDERATION.write_text(json.dumps(result, indent=2) + "\n")
+        cur = result["current"]
+        print(f"wrote {OUT_FEDERATION}")
+        print(f"  lookup p99 on {cur['hosts']} hosts: "
+              f"{cur['lookup_p99_sharded_s']:.3f}s sharded vs "
+              f"{cur['lookup_p99_flood_s']:.3f}s flood "
+              f"({cur['speedup_p99']:.1f}x); churn convergence "
+              f"{cur['convergence_s']:.1f}s "
+              f"({cur['convergence_rounds']:.0f} rounds)")
+        return 0
 
     if args.suite == "eventbus":
         result = distill_eventbus(run_benchmarks("bench_eventbus.py"),

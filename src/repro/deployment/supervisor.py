@@ -98,6 +98,7 @@ class ApplicationSupervisor:
         #: instance_id -> last externalized state seen alive.
         self.checkpoints: dict[str, dict] = {}
         self._pending: dict[tuple[str, str], _Pending] = {}
+        self._live_cache: Optional[tuple[float, set]] = None
         #: (app.name, instance) -> app, connections still to re-wire.
         self._pending_rewires: dict[tuple[str, str], Application] = {}
         self._proc = self.env.process(self._loop())
@@ -137,8 +138,21 @@ class ApplicationSupervisor:
     # -- liveness ----------------------------------------------------------
     def _host_alive(self, host_id: str) -> bool:
         if self.registry is not None:
-            return host_id in self.registry.live_hosts()
+            return host_id in self._live_view()
         return self.topology.host(host_id).alive
+
+    def _live_view(self) -> set:
+        """The registry's live-host set, computed once per sim-instant.
+
+        Liveness is asked per watched instance; against a federated
+        (gossip-backed) registry on a large population that merge is
+        the expensive part of a tick, and within one instant the
+        answer cannot change.
+        """
+        if self._live_cache is None or self._live_cache[0] != self.env.now:
+            self._live_cache = (self.env.now,
+                                set(self.registry.live_hosts()))
+        return self._live_cache[1]
 
     # -- main loop ---------------------------------------------------------
     def _loop(self):

@@ -141,8 +141,19 @@ class FanoutForwarder:
         self._ctr_events = metrics.counter("bus.remote.events")
         self._ctr_errors = metrics.counter("bus.remote.errors")
 
+    def retarget(self, iors: Sequence[IOR]) -> None:
+        """Re-aim the fan-out at a new sink set.
+
+        Gossip-style users re-pick destinations per flush (each round
+        samples a fresh peer set); the subscription and its buffer stay
+        in place, only the addressing changes.
+        """
+        self.iors = list(iors)
+
     def deliver(self, events: Sequence) -> bool:
         """Send one batch to every sink; True if handed to the wire."""
+        if not self.iors:
+            return False
         try:
             self.orb.send_oneway_fanout(self.iors, self.odef,
                                         self.to_args(events),

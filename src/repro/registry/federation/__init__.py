@@ -1,0 +1,58 @@
+"""Federated (sharded + gossiped) Distributed Registry.
+
+The MRM hierarchy of :mod:`repro.registry` scales by *summarizing*:
+each level compresses its subtree.  This package scales the other
+axis — population — by *partitioning*: the record space is consistent-
+hashed over a small set of shard owners
+(:class:`~repro.registry.federation.ring.ShardRing`), owners keep each
+other honest with seeded epidemic gossip and periodic anti-entropy
+syncs (:class:`~repro.registry.federation.shard.ShardAgent`), and
+resolvers ask only the few owners of the wanted repo-id
+(:class:`~repro.registry.federation.resolver.FederatedResolver`).
+
+Enable it through :class:`~repro.registry.groups.RegistryConfig` with
+``federation=True``, or drive
+:class:`~repro.registry.federation.orchestrator.FederatedRegistry`
+directly.  The ring and record/merge primitives are dependency-free on
+purpose: partitioned deployment planning (ROADMAP item 5) reuses them.
+"""
+
+from repro.registry.federation.orchestrator import (
+    FederatedRegistry,
+    FederationConfig,
+    FederationReporter,
+)
+from repro.registry.federation.records import (
+    HostBeacon,
+    MembershipTable,
+    ProviderRecord,
+    RecordStore,
+)
+from repro.registry.federation.resolver import FederatedResolver
+from repro.registry.federation.ring import (
+    RebalanceReport,
+    ShardRing,
+    ring_point,
+)
+from repro.registry.federation.shard import (
+    SHARD_IFACE,
+    ShardAgent,
+    shard_ior,
+)
+
+__all__ = [
+    "FederatedRegistry",
+    "FederationConfig",
+    "FederationReporter",
+    "FederatedResolver",
+    "HostBeacon",
+    "MembershipTable",
+    "ProviderRecord",
+    "RecordStore",
+    "RebalanceReport",
+    "SHARD_IFACE",
+    "ShardAgent",
+    "ShardRing",
+    "ring_point",
+    "shard_ior",
+]

@@ -1,0 +1,350 @@
+"""Shard owners: the active agents of the federated registry.
+
+A :class:`ShardAgent` runs on each owner host.  It keeps a
+:class:`~repro.registry.federation.records.RecordStore` with its slice
+of the provider-record space and a gossiped
+:class:`~repro.registry.federation.records.MembershipTable`, and runs
+**seeded epidemic rounds**: every ``gossip_interval`` it picks
+``fanout`` live peers from its own membership view (a named RNG
+stream, so runs are reproducible), publishes its round delta onto the
+node's event bus, and a batched bus subscription fans the flush out as
+**one** marshalled ``gossip`` frame per peer via
+:meth:`~repro.orb.core.ORB.send_oneway_fanout` — the PR-7 machinery,
+retargeted at each round's peer set.
+
+Anti-entropy: most rounds carry only the records merged since the
+previous round, but every ``full_sync_every``-th round pushes the full
+owned set, so an owner that lost its RAM (crash/restart) or missed
+deltas (partition) converges back within a bounded number of rounds.
+
+Peer discovery is itself epidemic: an agent starts knowing only its
+``seed_peers`` and learns the rest of the owner population from the
+beacons piggybacked on every gossip frame.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.orb.core import InterfaceDef, Servant, op
+from repro.orb.ior import IOR
+from repro.orb.typecodes import (
+    sequence_tc,
+    tc_boolean,
+    tc_double,
+    tc_long,
+    tc_string,
+)
+from repro.registry.view import CANDIDATE_TC, qos_admits
+from repro.registry.federation.records import (
+    HOST_BEACON_TC,
+    HostBeacon,
+    MembershipTable,
+    PROVIDER_RECORD_TC,
+    ProviderRecord,
+    RecordStore,
+)
+from repro.sim.kernel import Interrupt
+from repro.xmlmeta.descriptors import QoSSpec
+
+SHARD_ADAPTER = "node"
+SHARD_KEY = "shard"
+
+#: Bus topic one agent's gossip rounds publish record deltas to.
+GOSSIP_TOPIC = "federation.gossip"
+
+METER = "federation.gossip"
+
+SHARD_IFACE = InterfaceDef(
+    "IDL:corbalc/Federation/Shard:1.0",
+    "Shard",
+    operations=[
+        # Member -> owner: one publish round of provider records.
+        # *epoch* stamps the round even when *records* is empty, so the
+        # batch doubles as the member's liveness beacon.
+        op("publish_batch", [("origin", tc_string), ("epoch", tc_double),
+                             ("records", sequence_tc(PROVIDER_RECORD_TC))],
+           oneway=True),
+        # Owner <-> owner: one epidemic round (delta + membership).
+        op("gossip", [("records", sequence_tc(PROVIDER_RECORD_TC)),
+                      ("beacons", sequence_tc(HOST_BEACON_TC))],
+           oneway=True),
+        # Resolver -> owner: candidates for one repo-id under a QoS bar.
+        op("lookup", [("repo_id", tc_string), ("cpu", tc_double),
+                      ("memory", tc_double), ("bandwidth", tc_double)],
+           sequence_tc(CANDIDATE_TC), cpu_cost=0.2),
+        op("shard_hosts", [], sequence_tc(tc_string)),
+        op("record_count", [], tc_long),
+        op("is_shard_alive", [], tc_boolean),
+    ],
+)
+
+
+def shard_ior(host: str) -> IOR:
+    return IOR(SHARD_IFACE.repo_id, host, SHARD_ADAPTER, SHARD_KEY)
+
+
+class ShardAgent:
+    """One shard owner: record store + membership + gossip rounds."""
+
+    def __init__(self, node, ring, config,
+                 seed_peers: Sequence[str] = ()) -> None:
+        self.node = node
+        self.ring = ring
+        self.config = config
+        self.seed_peers = tuple(h for h in seed_peers
+                                if h != node.host_id)
+        self.store = RecordStore()
+        self.membership = MembershipTable()
+        self.rounds = 0
+        self._last_round = 0.0
+        self._round_beacons = None
+        self._rng = node.network.rngs.stream(
+            f"federation.gossip.{node.host_id}")
+        self._proc = None
+        self._sub = None
+        self._forwarder = None
+        self._servant = ShardServant(self)
+        node.orb.adapter(SHARD_ADAPTER).activate(self._servant,
+                                                 key=SHARD_KEY)
+        self._wire_bus()
+        self._bootstrap()
+        self._start()
+        node.host.on_crash.append(self._on_crash)
+        node.host.on_restart.append(self._on_restart)
+
+    # -- identity -----------------------------------------------------------
+    @property
+    def env(self):
+        return self.node.env
+
+    @property
+    def host_id(self) -> str:
+        return self.node.host_id
+
+    @property
+    def ior(self) -> IOR:
+        return shard_ior(self.host_id)
+
+    # -- wiring -------------------------------------------------------------
+    def _wire_bus(self) -> None:
+        from repro.events.bus import EventBus
+        from repro.events.remote import FanoutForwarder
+
+        bus = getattr(self.node, "bus", None)
+        if bus is None:
+            bus = EventBus(self.node.env, self.node.metrics)
+            self.node.bus = bus
+        self._bus = bus
+        gossip_op = SHARD_IFACE.operations["gossip"]
+        # Destinations start empty; each round retargets the forwarder
+        # at that round's sampled peer set before flushing.
+        self._forwarder = FanoutForwarder(
+            self.node.orb, (), gossip_op,
+            to_args=self._gossip_args, meter=METER)
+        self._sub = bus.batch_subscribe(
+            GOSSIP_TOPIC, self._forwarder.deliver,
+            max_batch=self.config.gossip_batch,
+            max_age=self.config.gossip_interval)
+
+    def _gossip_args(self, events) -> tuple:
+        records = [e.payload for e in events if e.payload is not None]
+        beacons = (self._round_beacons
+                   if self._round_beacons is not None
+                   else self.membership.beacons())
+        return (records, [b.to_value() for b in beacons])
+
+    def _bootstrap(self) -> None:
+        """Initial membership: self plus the configured seed peers."""
+        now = self.env.now
+        self.membership.apply(
+            HostBeacon(self.host_id, now, alive=True, owner=True))
+        for peer in self.seed_peers:
+            self.membership.apply(
+                HostBeacon(peer, now, alive=True, owner=True))
+
+    # -- lifecycle ----------------------------------------------------------
+    def _start(self) -> None:
+        self._proc = self.env.process(self._gossip_loop())
+
+    def _on_crash(self, _host) -> None:
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("host crashed")
+        self._proc = None
+        # RAM is gone: records and learned membership alike.  Deltas
+        # buffered in the flush window die with the host too.
+        self.store.clear()
+        self.membership.clear()
+        if self._sub is not None:
+            self._sub.clear()
+
+    def _on_restart(self, _host) -> None:
+        # Resume from the static seed list; anti-entropy full syncs
+        # from peers repopulate the record store.
+        self._bootstrap()
+        self._start()
+
+    def retire(self) -> None:
+        """Permanently stand this owner down (drained or replaced).
+
+        Unlike a crash, retirement unhooks the agent from its host: a
+        later restart of the host must not resurrect the gossip loop,
+        and the shard key must be free for a future re-promotion.
+        """
+        if self._proc is not None and self._proc.is_alive:
+            self._proc.interrupt("owner retired")
+        self._proc = None
+        if self._sub is not None:
+            self._sub.cancel()
+            self._sub = None
+        for hooks, cb in ((self.node.host.on_crash, self._on_crash),
+                          (self.node.host.on_restart, self._on_restart)):
+            if cb in hooks:
+                hooks.remove(cb)
+        self.node.orb.adapter(SHARD_ADAPTER).deactivate(SHARD_KEY)
+        self.store.clear()
+        self.membership.clear()
+
+    # -- gossip rounds ------------------------------------------------------
+    def _gossip_loop(self):
+        try:
+            # Desynchronize the fleet's rounds.
+            phase = float(self._rng.uniform(0.0,
+                                            self.config.gossip_interval))
+            if phase:
+                yield self.env.timeout(phase)
+            while True:
+                self._gossip_round()
+                yield self.env.timeout(self.config.gossip_interval)
+        except Interrupt:
+            return
+
+    def _pick_peers(self) -> list[str]:
+        now = self.env.now
+        peers = set(self.membership.live_owners(
+            now, self.config.member_timeout))
+        peers.update(self.seed_peers)
+        peers.discard(self.host_id)
+        ordered = sorted(peers)
+        if len(ordered) <= self.config.fanout:
+            return ordered
+        picks = self._rng.choice(len(ordered), size=self.config.fanout,
+                                 replace=False)
+        return [ordered[int(i)] for i in sorted(picks)]
+
+    def _gossip_round(self) -> None:
+        now = self.env.now
+        self.membership.apply(
+            HostBeacon(self.host_id, now, alive=True, owner=True))
+        # Suspect silence: peers whose beacons went stale are marked
+        # dead locally, and the marking itself gossips onward.
+        for beacon in self.membership.beacons():
+            if (beacon.alive and beacon.host != self.host_id
+                    and beacon.epoch < now - self.config.member_timeout):
+                self.membership.mark_dead(beacon.host, now)
+        self.rounds += 1
+        full_sync = (self.rounds % self.config.full_sync_every == 0)
+        # The owner plane is small and rides along whole every round;
+        # the (population-sized) member plane travels as a delta, whole
+        # only on anti-entropy rounds.
+        owner_beacons = [b for b in self.membership.beacons() if b.owner]
+        if full_sync:
+            self.store.sweep(now - self.config.record_timeout)
+            outgoing = self.store.records()
+            member_beacons = self.membership.member_beacons_since(0.0)
+        else:
+            outgoing = self.store.changed_since(self._last_round)
+            member_beacons = self.membership.member_beacons_since(
+                self._last_round)
+        self._round_beacons = owner_beacons + member_beacons
+        self._last_round = now
+        peers = self._pick_peers()
+        if not peers:
+            return
+        self._forwarder.retarget([shard_ior(h) for h in peers])
+        if outgoing:
+            for record in outgoing:
+                self._bus.publish(GOSSIP_TOPIC, record.to_value())
+        else:
+            # Beacon-only heartbeat round.
+            self._bus.publish(GOSSIP_TOPIC, None)
+        self._sub.flush()
+        self.node.metrics.counter("federation.rounds").inc()
+
+    # -- state merging ------------------------------------------------------
+    def _owns(self, repo_id: str) -> bool:
+        return self.host_id in self.ring.owners(
+            repo_id, self.config.replication)
+
+    def accept_publish(self, origin: str, epoch: float,
+                       records: Sequence[dict]) -> None:
+        now = self.env.now
+        self.membership.observe_member(origin, epoch, now)
+        for value in records:
+            self.store.apply(ProviderRecord.from_value(value), now)
+
+    def accept_gossip(self, records: Sequence[dict],
+                      beacons: Sequence[dict]) -> None:
+        now = self.env.now
+        for value in beacons:
+            beacon = HostBeacon.from_value(value)
+            if beacon.owner:
+                self.membership.apply(beacon)
+            else:
+                # Member freshness: stamp the *learn* time locally so
+                # the next delta round forwards what we just heard.
+                self.membership.observe_member(beacon.host, beacon.epoch,
+                                               now)
+        for value in records:
+            record = ProviderRecord.from_value(value)
+            # Keep shards bounded: only merge records this owner is
+            # responsible for under the current ring.
+            if self._owns(record.repo_id):
+                self.store.apply(record, now)
+
+    # -- queries ------------------------------------------------------------
+    def candidates(self, repo_id: str, qos: QoSSpec) -> list:
+        cutoff = self.env.now - self.config.record_timeout
+        out = []
+        for record in self.store.lookup(repo_id):
+            if record.epoch < cutoff:
+                continue
+            if not record.running_ior and not qos_admits(
+                    record.free_cpu, record.free_memory, qos):
+                continue
+            out.append(record.to_candidate(
+                group=f"shard:{self.host_id}"))
+        return out
+
+
+class ShardServant(Servant):
+    """Remote face of one shard owner."""
+
+    _interface = SHARD_IFACE
+
+    def __init__(self, agent: ShardAgent) -> None:
+        self.agent = agent
+
+    def publish_batch(self, origin: str, epoch: float,
+                      records: list) -> None:
+        self.agent.accept_publish(origin, epoch, records)
+
+    def gossip(self, records: list, beacons: list) -> None:
+        self.agent.accept_gossip(records, beacons)
+
+    def lookup(self, repo_id: str, cpu: float, memory: float,
+               bandwidth: float) -> list:
+        qos = QoSSpec(cpu_units=cpu, memory_mb=memory,
+                      bandwidth_bps=bandwidth)
+        return [c.to_value()
+                for c in self.agent.candidates(repo_id, qos)]
+
+    def shard_hosts(self) -> list:
+        return self.agent.membership.live_owners(
+            self.agent.env.now, self.agent.config.member_timeout)
+
+    def record_count(self) -> int:
+        return len(self.agent.store)
+
+    def is_shard_alive(self) -> bool:
+        return True

@@ -50,6 +50,13 @@ class RegistryConfig:
     #: report_batch delivery riding GIOP pipelining) instead of one
     #: point-to-point oneway per report per replica.
     event_bus: bool = False
+    #: replace the MRM hierarchy with the sharded, gossip-federated
+    #: registry (see :mod:`repro.registry.federation`): ``deploy``
+    #: ignores the grouping and stands up shard owners instead,
+    #: ``replicas`` becomes the record replication factor.
+    federation: bool = False
+    federation_owners: int = 4
+    federation_gossip_interval: float = 2.0
 
     def __post_init__(self) -> None:
         if self.mode not in MODES:
@@ -82,6 +89,13 @@ def _first_hosts(tree: dict) -> list[str]:
     if isinstance(content, dict):
         return _first_hosts(content)
     return list(content)
+
+
+def _tree_height(content) -> int:
+    """Levels of MRMs *above* the leaf groups under *content*."""
+    if isinstance(content, dict):
+        return 1 + max(_tree_height(v) for v in content.values())
+    return 0
 
 
 def groups_by_cluster(host_ids: list[str]) -> dict[str, list[str]]:
@@ -120,12 +134,17 @@ class DistributedRegistry:
         self.reporters: dict[str, object] = {}
         self.resolvers: dict[str, NetworkResolver] = {}
         self.supervisors: list[MrmSupervisor] = []
+        #: the sharded backend when ``config.federation`` is on.
+        self.federation = None
 
     # -- deployment ----------------------------------------------------------
     def deploy(self, groups: dict[str, list[str]]) -> None:
         """Stand up MRMs, reporters, resolvers for *groups*."""
         if not groups:
             raise ConfigurationError("no groups to deploy")
+        if self.config.federation:
+            self._deploy_federated()
+            return
         for group_id, hosts in groups.items():
             if not hosts:
                 raise ConfigurationError(f"group {group_id!r} is empty")
@@ -138,9 +157,11 @@ class DistributedRegistry:
         root_iors: tuple = ()
         if multi_group:
             # Root level: MRMs whose members are the group MRMs'
-            # aggregates.  Placed on the first hosts of the first group.
+            # aggregates.  Placed in the first group, offset past the
+            # hosts its own group-level MRMs will occupy.
             first_hosts = list(groups.values())[0]
-            root_hosts = self._pick_mrm_hosts(first_hosts)
+            root_hosts = self._pick_mrm_hosts(first_hosts,
+                                              offset=self.config.replicas)
             self.root = Group(ROOT_GROUP, member_hosts=[],
                               mrm_hosts=root_hosts)
             for host in root_hosts:
@@ -164,6 +185,25 @@ class DistributedRegistry:
                     self, group, interval=self.config.supervise_interval)
                 self.supervisors.append(supervisor)
 
+    def _deploy_federated(self) -> None:
+        """Stand up the sharded backend instead of the MRM hierarchy."""
+        from repro.registry.federation import (
+            FederatedRegistry,
+            FederationConfig,
+        )
+        fed = FederatedRegistry(self.nodes, FederationConfig(
+            owners=self.config.federation_owners,
+            replication=self.config.replicas,
+            update_interval=self.config.update_interval,
+            gossip_interval=self.config.federation_gossip_interval,
+            member_timeout=self.config.member_timeout,
+            query_timeout=self.config.query_timeout,
+            placement=self.config.placement))
+        fed.deploy()
+        self.federation = fed
+        self.reporters = fed.reporters
+        self.resolvers = fed.resolvers
+
     def deploy_tree(self, tree: dict, _parent_iors: tuple = (),
                     _level: str = "") -> None:
         """Deploy a multi-level MRM hierarchy.
@@ -185,7 +225,8 @@ class DistributedRegistry:
         is_root_call = not _parent_iors
         if is_root_call and len(tree) > 1:
             first_hosts = _first_hosts(tree)
-            root_hosts = self._pick_mrm_hosts(first_hosts)
+            root_hosts = self._pick_mrm_hosts(
+                first_hosts, offset=self.config.replicas * _tree_height(tree))
             self.root = Group(ROOT_GROUP, member_hosts=[],
                               mrm_hosts=root_hosts)
             for host in root_hosts:
@@ -201,7 +242,9 @@ class DistributedRegistry:
             if isinstance(content, dict):
                 # an intermediate level: MRMs whose members are the
                 # child groups' aggregates
-                hosts = self._pick_mrm_hosts(_first_hosts(content))
+                hosts = self._pick_mrm_hosts(
+                    _first_hosts(content),
+                    offset=self.config.replicas * _tree_height(content))
                 mid = Group(group_id, member_hosts=[], mrm_hosts=hosts)
                 for host in hosts:
                     mid.agents.append(MrmAgent(
@@ -231,9 +274,23 @@ class DistributedRegistry:
                         self, group,
                         interval=self.config.supervise_interval))
 
-    def _pick_mrm_hosts(self, hosts: list[str]) -> list[str]:
+    def _pick_mrm_hosts(self, hosts: list[str], offset: int = 0
+                        ) -> list[str]:
+        """Pick ``replicas`` serving hosts, starting *offset* entries in.
+
+        Hierarchy levels stack their picks at different offsets (leaf
+        groups at 0, each level above shifted by another ``replicas``)
+        so the root MRMs and the first group's MRMs never pile onto the
+        same first hosts — one host death must not take out two
+        hierarchy levels at once.  When the pool is too small to avoid
+        overlap the selection wraps around.
+        """
         n = min(self.config.replicas, len(hosts))
-        return list(hosts[:n])
+        if not offset or len(hosts) <= n:
+            return list(hosts[:n])
+        start = offset % len(hosts)
+        rotated = hosts[start:] + hosts[:start]
+        return rotated[:n]
 
     def _wire_members(self, group: Group) -> None:
         iors = group.mrm_iors()
@@ -288,6 +345,8 @@ class DistributedRegistry:
         paper's "the MRM can suppose a node of the group has been down
         after some time-out" signal the deployment supervisor keys on.
         """
+        if self.federation is not None:
+            return self.federation.live_hosts()
         out: set[str] = set()
         for agent in self.all_mrm_agents():
             if not agent.node.host.alive:
@@ -311,4 +370,6 @@ class DistributedRegistry:
 
     def settle_time(self, rounds: float = 2.0) -> float:
         """Sim-time to run before the registry's views are warm."""
+        if self.federation is not None:
+            return self.federation.settle_time(rounds)
         return rounds * self.config.update_interval + 0.5

@@ -43,6 +43,7 @@ from repro.registry.view import (
     Candidate,
     NODE_VIEW_TC,
     NodeView,
+    qos_admits,
 )
 from repro.xmlmeta.descriptors import QoSSpec
 
@@ -231,9 +232,10 @@ class MrmAgent:
             for cand in Candidate.from_view(rec.view, repo_id,
                                             group=self.group_id):
                 free_cpu = self._member_free_cpu(rec)
-                if qos.cpu_units and free_cpu < qos.cpu_units:
-                    continue
-                if qos.memory_mb and cand.free_memory < qos.memory_mb:
+                if not cand.is_running and not qos_admits(
+                        free_cpu, cand.free_memory, qos):
+                    # Reusing a running instance needs no headroom;
+                    # only instantiation clears the QoS bar.
                     continue
                 out.append(Candidate(
                     host=cand.host, component=cand.component,

@@ -24,7 +24,7 @@ from repro.packaging.package import ComponentPackage
 from repro.orb.exceptions import SystemException, TRANSIENT
 from repro.orb.ior import IOR
 from repro.registry.mrm import MRM_IFACE, MrmConfig
-from repro.registry.view import Candidate
+from repro.registry.view import Candidate, qos_admits
 from repro.sim.kernel import Event
 from repro.util.errors import ConfigurationError
 from repro.xmlmeta.descriptors import QoSSpec
@@ -117,6 +117,15 @@ class ResolverBase:
 
     def _materialize(self, best: Candidate, repo_id: str, qos: QoSSpec):
         node = self.node
+        if not best.component:
+            # A running-only answer (e.g. the provider's package was
+            # uninstalled after instantiation) names no component to
+            # install or instantiate; selecting it while its instance is
+            # gone must fail cleanly, not crash the container agent.
+            raise TRANSIENT(
+                f"candidate on {best.host} names no installable "
+                f"component for {repo_id!r}"
+            )
         if self._should_fetch(best, qos):
             # Bring the binary here: fetch + install + local instance.
             node.metrics.counter("resolver.fetched").inc()
@@ -229,15 +238,21 @@ class FloodResolver(ResolverBase):
             if not running and not names:
                 continue
             resources_ior = Node.service_ior(host, "resources")
+            snap = None
             try:
                 snap_value = yield node.orb.invoke(
                     resources_ior, _SNAPSHOT, (),
                     timeout=self.config.query_timeout,
                     meter="registry.flood")
+                snap = ResourceSnapshot.from_value(snap_value)
             except SystemException:
-                continue
-            snap = ResourceSnapshot.from_value(snap_value)
-            if qos.cpu_units and snap.cpu_available < qos.cpu_units:
+                # A failed snapshot only disqualifies *instantiating*
+                # here; reusing an already-running provider needs no
+                # resource headroom, so the host stays in the race.
+                if not running:
+                    continue
+            if not running and not qos_admits(
+                    snap.cpu_available, snap.memory_available, qos):
                 continue
             candidates.append(Candidate(
                 host=host,
@@ -245,8 +260,9 @@ class FloodResolver(ResolverBase):
                 version="",
                 running_ior=running[0] if running else "",
                 mobility="mobile",
-                free_cpu=snap.cpu_available,
-                free_memory=snap.memory_available,
-                is_tiny=snap.is_tiny,
+                free_cpu=snap.cpu_available if snap is not None else 0.0,
+                free_memory=(snap.memory_available
+                             if snap is not None else 0.0),
+                is_tiny=snap.is_tiny if snap is not None else False,
             ))
         return candidates

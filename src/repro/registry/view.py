@@ -104,6 +104,20 @@ class NodeView:
         return any(repo_id in c.provides for c in self.components)
 
 
+def qos_admits(free_cpu: float, free_memory: float, qos) -> bool:
+    """Headroom check for *instantiating* a new provider on a host.
+
+    Applies to installed-only candidates: a host that already runs the
+    provider is reused in place and needs no free CPU or memory, so
+    callers must exempt running candidates from this filter.
+    """
+    if qos.cpu_units and free_cpu < qos.cpu_units:
+        return False
+    if qos.memory_mb and free_memory < qos.memory_mb:
+        return False
+    return True
+
+
 @dataclass(frozen=True)
 class Candidate:
     host: str

@@ -145,6 +145,10 @@ class Topology:
         #: (src, dst) -> Link list of the cached route (or None when
         #: unreachable); invalidated together with the route cache.
         self._link_cache: dict[tuple[str, str], Optional[list["Link"]]] = {}
+        #: live-subgraph memo shared by all route computations between
+        #: liveness changes; rebuilding it per (src, dst) pair is
+        #: O(hosts + links) each time and dominates 1k-host runs.
+        self._live_graph_cache: Optional[nx.Graph] = None
 
     # -- construction ------------------------------------------------------
     def add_host(self, host_id: str, profile: HostProfile = DESKTOP) -> Host:
@@ -155,6 +159,7 @@ class Topology:
         self._graph.add_node(host_id)
         self._route_cache.clear()
         self._link_cache.clear()
+        self._live_graph_cache = None
         return host
 
     def add_link(self, a: str, b: str, link_class: LinkClass = LAN) -> Link:
@@ -169,6 +174,7 @@ class Topology:
         self._graph.add_edge(a, b, weight=link_class.latency)
         self._route_cache.clear()
         self._link_cache.clear()
+        self._live_graph_cache = None
         return link
 
     # -- access ------------------------------------------------------------
@@ -201,11 +207,13 @@ class Topology:
     def invalidate_routes(self) -> None:
         self._route_cache.clear()
         self._link_cache.clear()
+        self._live_graph_cache = None
 
     def set_link_state(self, a: str, b: str, up: bool) -> None:
         self.link(a, b).up = up
         self._route_cache.clear()
         self._link_cache.clear()
+        self._live_graph_cache = None
 
     def set_host_state(self, host_id: str, alive: bool) -> None:
         host = self.host(host_id)
@@ -215,16 +223,20 @@ class Topology:
             host.crash()
         self._route_cache.clear()
         self._link_cache.clear()
+        self._live_graph_cache = None
 
     # -- routing -------------------------------------------------------------
     def _live_graph(self) -> nx.Graph:
-        g = nx.Graph()
-        for hid, host in self._hosts.items():
-            if host.alive:
-                g.add_node(hid)
-        for link in self._links.values():
-            if (link.up and link.a in g and link.b in g):
-                g.add_edge(link.a, link.b, weight=link.latency)
+        g = self._live_graph_cache
+        if g is None:
+            g = nx.Graph()
+            for hid, host in self._hosts.items():
+                if host.alive:
+                    g.add_node(hid)
+            for link in self._links.values():
+                if (link.up and link.a in g and link.b in g):
+                    g.add_edge(link.a, link.b, weight=link.latency)
+            self._live_graph_cache = g
         return g
 
     def route(self, src: str, dst: str) -> Optional[list[str]]:
@@ -298,7 +310,8 @@ def line(n: int, profile: HostProfile = DESKTOP,
 
 def clustered(n_clusters: int, cluster_size: int,
               intra: LinkClass = LAN, inter: LinkClass = WAN,
-              profile: HostProfile = DESKTOP) -> Topology:
+              profile: HostProfile = DESKTOP,
+              backbone: str = "chain") -> Topology:
     """LAN clusters joined by WAN links between their first hosts.
 
     Hosts are named ``c{i}h{j}``.  Each cluster is a full mesh (hosts on
@@ -306,7 +319,18 @@ def clustered(n_clusters: int, cluster_size: int,
     traffic); cluster heads ``c{i}h0`` act as WAN gateways.  This is the
     shape the paper's hierarchical MRM protocol targets: locality inside
     a cluster, expensive links between clusters.
+
+    ``backbone`` picks the gateway interconnect:
+
+    - ``"chain"`` (default) — ``c0h0 - c1h0 - ... `` in a line: the
+      historical shape, fine for a handful of clusters.
+    - ``"chords"`` — a ring plus power-of-two chord links
+      (``ci <-> c(i + 2^k)``), giving an O(log C) WAN diameter.  Use
+      this for large cluster counts, where a chain's O(C) diameter
+      would make the middle links a bottleneck for all cross traffic.
     """
+    if backbone not in ("chain", "chords"):
+        raise ConfigurationError(f"unknown backbone {backbone!r}")
     topo = Topology()
     for c in range(n_clusters):
         for j in range(cluster_size):
@@ -314,8 +338,23 @@ def clustered(n_clusters: int, cluster_size: int,
         for j in range(cluster_size):
             for k in range(j + 1, cluster_size):
                 topo.add_link(f"c{c}h{j}", f"c{c}h{k}", intra)
-    for c in range(n_clusters - 1):
-        topo.add_link(f"c{c}h0", f"c{c+1}h0", inter)
+    if backbone == "chain" or n_clusters <= 2:
+        for c in range(n_clusters - 1):
+            topo.add_link(f"c{c}h0", f"c{c+1}h0", inter)
+        return topo
+    seen: set[tuple[int, int]] = set()
+    offsets = [1]
+    step = 2
+    while step < n_clusters:
+        offsets.append(step)
+        step *= 2
+    for c in range(n_clusters):
+        for offset in offsets:
+            pair = tuple(sorted((c, (c + offset) % n_clusters)))
+            if pair[0] == pair[1] or pair in seen:
+                continue
+            seen.add(pair)
+            topo.add_link(f"c{pair[0]}h0", f"c{pair[1]}h0", inter)
     return topo
 
 

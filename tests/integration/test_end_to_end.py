@@ -94,6 +94,10 @@ class TestFullStack:
         protected = {"c0h0", "c1h0", provider_host}
         protected.update(h for g in dr.groups.values()
                          for h in g.mrm_hosts)
+        if dr.root is not None:
+            # Root MRMs no longer share the first group's hosts; they
+            # are registry infrastructure and stay out of the churn.
+            protected.update(dr.root.mrm_hosts)
         ChurnModel(rig.env, injector, rig.rngs,
                    rig.topology.host_ids(), mean_uptime=20.0,
                    mean_downtime=5.0, protected=protected)

@@ -1,0 +1,124 @@
+"""Regression tests for FloodResolver candidate filtering (PR 8).
+
+Three pre-PR bugs: a host whose resource-snapshot call failed was
+discarded even when it reported a *running* provider; a running
+provider was filtered out for lacking CPU headroom it does not need;
+and ``qos.memory_mb`` was silently ignored while ``qos.cpu_units`` was
+enforced.  Plus the materialization guard: a candidate with an empty
+component name (running-only answer) must fail cleanly if it is ever
+selected while not running.
+"""
+
+import pytest
+
+from repro.orb.exceptions import TRANSIENT
+from repro.registry.mrm import MrmConfig
+from repro.registry.queries import FloodResolver
+from repro.registry.view import Candidate, qos_admits
+from repro.testing import COUNTER_IFACE, counter_package, star_rig
+from repro.xmlmeta.descriptors import QoSSpec
+
+
+def flood_rig(seed=80):
+    """hub + 2 leaves; h0 carries the Counter, hub resolves."""
+    rig = star_rig(2, seed=seed)
+    rig.node("h0").install_package(counter_package())
+    resolver = FloodResolver(rig.node("hub"), rig.topology.host_ids(),
+                             MrmConfig(query_timeout=1.0))
+    return rig, resolver
+
+
+class TestSnapshotFailureKeepsRunningProvider:
+    def test_running_provider_survives_snapshot_failure(self):
+        rig, resolver = flood_rig()
+        h0 = rig.node("h0")
+        instance = h0.container.create_instance("Counter")
+        running_ior = instance.ports.facets()[0].ior
+        # The resource manager's servant goes away: every snapshot call
+        # to h0 now fails with a SystemException.
+        h0.orb.adapter("node").deactivate("resources")
+        ior = rig.run(until=resolver.resolve(COUNTER_IFACE.repo_id))
+        assert ior == running_ior
+
+    def test_installed_only_host_still_needs_snapshot(self):
+        rig, resolver = flood_rig()
+        # No running instance: with the snapshot unavailable the host
+        # cannot prove headroom, so it must NOT be used to instantiate.
+        rig.node("h0").orb.adapter("node").deactivate("resources")
+        with pytest.raises(TRANSIENT):
+            rig.run(until=resolver.resolve(COUNTER_IFACE.repo_id))
+
+
+class TestRunningProviderNeedsNoHeadroom:
+    def test_cpu_filter_exempts_running_instance(self):
+        rig, resolver = flood_rig(seed=81)
+        h0 = rig.node("h0")
+        instance = h0.container.create_instance("Counter")
+        running_ior = instance.ports.facets()[0].ior
+        # Demand more CPU than any host has free: instantiating anywhere
+        # is impossible, but the running instance is reusable as-is.
+        ior = rig.run(until=resolver.resolve(
+            COUNTER_IFACE.repo_id, qos=QoSSpec(cpu_units=1e9)))
+        assert ior == running_ior
+
+    def test_memory_filter_exempts_running_instance(self):
+        rig, resolver = flood_rig(seed=82)
+        h0 = rig.node("h0")
+        instance = h0.container.create_instance("Counter")
+        running_ior = instance.ports.facets()[0].ior
+        ior = rig.run(until=resolver.resolve(
+            COUNTER_IFACE.repo_id, qos=QoSSpec(memory_mb=1e9)))
+        assert ior == running_ior
+
+
+class TestMemoryConstraintEnforced:
+    def test_unsatisfiable_memory_demand_fails(self):
+        rig, resolver = flood_rig(seed=83)
+        # Installed but not running; no host has 1e9 MB free, so the
+        # query must fail instead of placing an instance that cannot fit.
+        with pytest.raises(TRANSIENT):
+            rig.run(until=resolver.resolve(
+                COUNTER_IFACE.repo_id, qos=QoSSpec(memory_mb=1e9)))
+
+    def test_satisfiable_memory_demand_resolves(self):
+        rig, resolver = flood_rig(seed=84)
+        ior = rig.run(until=resolver.resolve(
+            COUNTER_IFACE.repo_id, qos=QoSSpec(memory_mb=1.0)))
+        assert ior.host_id == "h0"
+
+    def test_qos_admits_is_symmetric(self):
+        qos = QoSSpec(cpu_units=10.0, memory_mb=10.0)
+        assert qos_admits(10.0, 10.0, qos)
+        assert not qos_admits(5.0, 100.0, qos)
+        assert not qos_admits(100.0, 5.0, qos)
+        assert qos_admits(0.0, 0.0, QoSSpec())
+
+
+class TestEmptyComponentMaterialization:
+    def test_running_only_host_resolved_by_reuse(self):
+        """Package removed after instantiation: names=[], running=[ior]."""
+        rig, resolver = flood_rig(seed=85)
+        h0 = rig.node("h0")
+        instance = h0.container.create_instance("Counter")
+        running_ior = instance.ports.facets()[0].ior
+        cls = h0.repository.providers_of(COUNTER_IFACE.repo_id)[0]
+        h0.repository.remove(cls.name, cls.version)
+        ior = rig.run(until=resolver.resolve(COUNTER_IFACE.repo_id))
+        assert ior == running_ior
+
+    def test_nameless_candidate_fails_cleanly(self, monkeypatch):
+        """A non-running candidate with component='' must raise
+        TRANSIENT from materialization, not crash the container agent
+        with a nonsense create_instance('')."""
+        rig, resolver = flood_rig(seed=86)
+
+        def fake_find(repo_id, qos):
+            return [Candidate(host="h1", component="", version="",
+                              running_ior="", mobility="mobile",
+                              free_cpu=1000.0, free_memory=1000.0,
+                              is_tiny=False)]
+            yield  # pragma: no cover
+
+        monkeypatch.setattr(resolver, "_find", fake_find)
+        with pytest.raises(TRANSIENT, match="installable"):
+            rig.run(until=resolver.resolve(COUNTER_IFACE.repo_id))

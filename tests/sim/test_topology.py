@@ -172,6 +172,29 @@ class TestBuilders:
         assert topo.link("c0h0", "c1h0").link_class.name == "wan"
         assert topo.link("c0h0", "c0h1").link_class.name == "lan"
 
+    def test_clustered_chords_backbone_shortens_wan_diameter(self):
+        chain = clustered(16, 2)
+        chords = clustered(16, 2, backbone="chords")
+        # chain: c0 -> c15 crosses every intermediate gateway
+        assert len(chain.route("c0h0", "c15h0")) == 16
+        # ring + power-of-two chords: logarithmic gateway hops
+        assert len(chords.route("c0h0", "c15h0")) <= 5
+        # every pair still reachable, links still WAN class
+        for c in range(16):
+            assert chords.reachable("c0h1", f"c{c}h1")
+        assert chords.link("c0h0", "c1h0").link_class.name == "wan"
+        assert chords.link("c0h0", "c8h0").link_class.name == "wan"
+
+    def test_clustered_chords_small_counts_degenerate_to_chain(self):
+        # with <= 2 clusters there is nothing to chord
+        duo = clustered(2, 2, backbone="chords")
+        assert len(list(duo.links())) == len(
+            list(clustered(2, 2).links()))
+
+    def test_clustered_rejects_unknown_backbone(self):
+        with pytest.raises(ConfigurationError):
+            clustered(2, 2, backbone="mesh")
+
     def test_random_mesh_connected_and_deterministic(self):
         rng1 = RngRegistry(7).stream("topo")
         rng2 = RngRegistry(7).stream("topo")
