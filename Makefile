@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: check test selftest lint bench bench-orb bench-eventbus \
-	bench-federation faults fuzz
+	bench-federation bench-chaos faults fuzz chaos
 
 # The one-stop gate: descriptor lint, observability + availability +
 # static-gate end-to-end selftests, then the full tier-1 suite.
@@ -20,6 +20,7 @@ selftest:
 	$(PYTHON) benchmarks/bench_orb_floor.py --selftest
 	$(PYTHON) benchmarks/bench_eventbus.py --selftest
 	$(PYTHON) benchmarks/bench_federation.py --selftest
+	$(PYTHON) benchmarks/bench_chaos.py --selftest
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -31,6 +32,10 @@ faults:
 # seeded wire-fuzz of the GIOP/CDR decoder
 fuzz:
 	$(PYTHON) -m pytest -m fuzz -q
+
+# seeded chaos campaigns against the live scenario (C19)
+chaos:
+	$(PYTHON) -m repro.tools.chaos --campaigns 5
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
@@ -46,3 +51,7 @@ bench-eventbus:
 # regenerate BENCH_federation.json (C18 sharded registry vs flat flood)
 bench-federation:
 	$(PYTHON) benchmarks/bench_to_json.py --suite federation
+
+# regenerate BENCH_chaos.json (C19 seeded chaos campaigns)
+bench-chaos:
+	$(PYTHON) benchmarks/bench_to_json.py --suite chaos

@@ -30,6 +30,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUT = ROOT / "BENCH_orb.json"
 OUT_EVENTBUS = ROOT / "BENCH_eventbus.json"
 OUT_FEDERATION = ROOT / "BENCH_federation.json"
+OUT_CHAOS = ROOT / "BENCH_chaos.json"
 
 # Measured on this repo immediately before the compiled-codec PR, when
 # every encode/decode walked the TypeCode interpreter.  Kept here so the
@@ -206,15 +207,61 @@ def distill_federation(raw: dict, history: list) -> dict:
     }
 
 
+def distill_chaos(raw: dict, history: list) -> dict:
+    by_name = {}
+    for bench in raw.get("benchmarks", []):
+        name = bench["name"].split("[")[0]
+        by_name[name] = {
+            "mean_s": bench["stats"]["mean"],
+            "stddev_s": bench["stats"]["stddev"],
+            "rounds": bench["stats"]["rounds"],
+            **bench.get("extra_info", {}),
+        }
+    campaigns = by_name.get("test_chaos_campaigns", {})
+    current = {
+        "label": "seeded chaos campaigns + invariant monitors",
+        "profiles": campaigns.get("profiles"),
+        "actions": campaigns.get("actions"),
+        "checks": campaigns.get("checks"),
+        "violations": campaigns.get("violations"),
+        "client_ok": campaigns.get("client_ok"),
+        "client_errors": campaigns.get("client_errors"),
+        "recoveries": campaigns.get("recoveries"),
+        "report_digests": campaigns.get("digests"),
+    }
+    return {
+        "generated": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "bench": "bench_chaos.py (C19)",
+        "machine": raw.get("machine_info", {}).get("cpu", {}).get(
+            "brand_raw", "unknown"),
+        "current": current,
+        "history": history,
+        "raw": by_name,
+    }
+
+
 def main() -> int:
     import argparse
 
     parser = argparse.ArgumentParser(
         description="distill benchmark suites into BENCH_*.json")
     parser.add_argument("--suite",
-                        choices=("orb", "eventbus", "federation"),
+                        choices=("orb", "eventbus", "federation",
+                                 "chaos"),
                         default="orb")
     args = parser.parse_args()
+
+    if args.suite == "chaos":
+        result = distill_chaos(run_benchmarks("bench_chaos.py"),
+                               load_history(OUT_CHAOS))
+        OUT_CHAOS.write_text(json.dumps(result, indent=2) + "\n")
+        cur = result["current"]
+        print(f"wrote {OUT_CHAOS}")
+        print(f"  {cur['profiles']} campaign profiles, "
+              f"{cur['actions']} faults, {cur['checks']} invariant "
+              f"checks, {cur['violations']} violations")
+        return 0
 
     if args.suite == "federation":
         result = distill_federation(

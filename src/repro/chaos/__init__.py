@@ -1,0 +1,64 @@
+"""Seeded chaos campaigns with system-invariant monitors.
+
+The robustness claims of the runtime — self-healing deployment
+(§2.4.3), fenced replication, gossip-converging federated resolution —
+are only claims until something hostile and *reproducible* attacks
+them.  This package is that something:
+
+- :mod:`repro.chaos.scenario` builds a full standard system (clustered
+  WAN topology, federated registry, supervised assembly, replica
+  group, retrying clients) from one seed;
+- :mod:`repro.chaos.actions` is the fault vocabulary (crashes,
+  cluster partitions, WAN flaps, wire corruption, slow hosts, clock
+  skew, owner isolation), each with a revert;
+- :mod:`repro.chaos.invariants` is the monitor panel probed between
+  faults and, strictly, at quiescence;
+- :mod:`repro.chaos.campaign` samples a plan from the ``chaos.plan``
+  RNG stream and drives the loop;
+- :mod:`repro.chaos.report` serializes it all canonically, so a
+  violation report is its own byte-reproducible reproducer.
+
+Run campaigns via ``python -m repro.tools.chaos`` or ``make chaos``.
+"""
+
+from repro.chaos.actions import ACTIONS, AppliedFault
+from repro.chaos.campaign import (
+    DEFAULT_WEIGHTS,
+    CampaignConfig,
+    ChaosCampaign,
+    run_campaign,
+)
+from repro.chaos.invariants import (
+    MID,
+    QUIESCENCE,
+    AdmissionRecoveredMonitor,
+    ControlLoopsAliveMonitor,
+    FederatedResolvableMonitor,
+    FloodResolvableMonitor,
+    InvariantMonitor,
+    MembershipConvergenceMonitor,
+    NoOrphanInstancesMonitor,
+    SinglePrimaryMonitor,
+    default_monitors,
+    probe_monitor,
+)
+from repro.chaos.report import (
+    ChaosAction,
+    ChaosReport,
+    InvariantCheck,
+    InvariantViolation,
+    canonical_json,
+)
+from repro.chaos.scenario import ChaosWorld, build_world
+
+__all__ = [
+    "ACTIONS", "AppliedFault", "CampaignConfig", "ChaosCampaign",
+    "DEFAULT_WEIGHTS", "run_campaign", "InvariantMonitor",
+    "FederatedResolvableMonitor", "FloodResolvableMonitor",
+    "SinglePrimaryMonitor", "NoOrphanInstancesMonitor",
+    "MembershipConvergenceMonitor", "ControlLoopsAliveMonitor",
+    "AdmissionRecoveredMonitor", "default_monitors", "ChaosAction",
+    "ChaosReport", "InvariantCheck", "InvariantViolation",
+    "canonical_json", "ChaosWorld", "build_world", "probe_monitor",
+    "MID", "QUIESCENCE",
+]

@@ -1,0 +1,169 @@
+"""Typed, byte-reproducible chaos-campaign reports.
+
+Everything a campaign run produces — the fault actions it applied, the
+invariant checks it ran, and any violations — is captured in plain
+frozen records and serialized *canonically* (sorted keys, fixed
+separators, no timestamps from the host machine).  Because the whole
+simulation is seeded, two runs of the same campaign seed and config
+must produce byte-identical JSON; a violation report therefore *is*
+its own reproducer, and :meth:`ChaosReport.digest` is a stable
+fingerprint the tooling compares after a replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, no whitespace variance."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class ChaosAction:
+    """One fault (or heal) the campaign applied to the world."""
+
+    time: float
+    kind: str                    # "crash_host", "heal.partition", ...
+    target: str                  # host id, link pair, cluster name...
+    detail: tuple[tuple[str, Any], ...] = ()
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "kind": self.kind,
+                "target": self.target, "detail": dict(self.detail)}
+
+    def summary(self) -> str:
+        return f"t={self.time:.3f} {self.kind}({self.target})"
+
+
+@dataclass(frozen=True)
+class InvariantCheck:
+    """One probe of one invariant monitor."""
+
+    time: float
+    name: str
+    phase: str                   # "mid" | "quiescence"
+    ok: bool
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "name": self.name,
+                "phase": self.phase, "ok": self.ok,
+                "detail": self.detail}
+
+
+@dataclass(frozen=True)
+class InvariantViolation:
+    """A failed check that counts against the campaign.
+
+    Carries the seed and the trailing action context so the violation
+    can be replayed byte-for-byte from the report alone.
+    """
+
+    time: float
+    name: str
+    phase: str
+    detail: str
+    seed: int
+    trace: tuple[str, ...] = ()  # recent actions leading up to it
+
+    def to_dict(self) -> dict:
+        return {"time": self.time, "name": self.name,
+                "phase": self.phase, "detail": self.detail,
+                "seed": self.seed, "trace": list(self.trace)}
+
+
+@dataclass
+class ChaosReport:
+    """Everything one campaign run produced."""
+
+    seed: int
+    horizon: float
+    settle: float
+    config: dict = field(default_factory=dict)
+    actions: list[ChaosAction] = field(default_factory=list)
+    checks: list[InvariantCheck] = field(default_factory=list)
+    violations: list[InvariantViolation] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "horizon": self.horizon,
+            "settle": self.settle,
+            "config": self.config,
+            "actions": [a.to_dict() for a in self.actions],
+            "checks": [c.to_dict() for c in self.checks],
+            "violations": [v.to_dict() for v in self.violations],
+            "metrics": self.metrics,
+            "ok": self.ok,
+        }
+
+    def to_json(self) -> str:
+        return canonical_json(self.to_dict())
+
+    def digest(self) -> str:
+        """Stable fingerprint: replaying the seed must reproduce it."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+    # -- summaries -----------------------------------------------------------
+    def action_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for action in self.actions:
+            out[action.kind] = out.get(action.kind, 0) + 1
+        return out
+
+    def render_text(self) -> str:
+        counts = ", ".join(f"{k}={n}" for k, n in
+                           sorted(self.action_counts().items()))
+        quiescent = sum(1 for c in self.checks
+                        if c.phase == "quiescence")
+        lines = [
+            f"chaos campaign seed={self.seed} horizon={self.horizon:g}s "
+            f"settle={self.settle:g}s",
+            f"  actions: {len(self.actions)} ({counts})",
+            f"  checks:  {len(self.checks)} ({quiescent} at quiescence)",
+        ]
+        if self.violations:
+            lines.append(f"  VIOLATIONS: {len(self.violations)}")
+            for v in self.violations:
+                lines.append(f"    [{v.phase}] t={v.time:.3f} "
+                             f"{v.name}: {v.detail}")
+                for entry in v.trace:
+                    lines.append(f"      {entry}")
+                lines.append(f"      replay: python -m repro.tools.chaos "
+                             f"--seed {v.seed}")
+        else:
+            lines.append("  violations: none")
+        return "\n".join(lines)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosReport":
+        return cls(
+            seed=data["seed"],
+            horizon=data["horizon"],
+            settle=data["settle"],
+            config=dict(data.get("config", {})),
+            actions=[ChaosAction(
+                time=a["time"], kind=a["kind"], target=a["target"],
+                detail=tuple(sorted(a.get("detail", {}).items())))
+                for a in data.get("actions", [])],
+            checks=[InvariantCheck(
+                time=c["time"], name=c["name"], phase=c["phase"],
+                ok=c["ok"], detail=c.get("detail", ""))
+                for c in data.get("checks", [])],
+            violations=[InvariantViolation(
+                time=v["time"], name=v["name"], phase=v["phase"],
+                detail=v["detail"], seed=v["seed"],
+                trace=tuple(v.get("trace", ())))
+                for v in data.get("violations", [])],
+            metrics=dict(data.get("metrics", {})),
+        )

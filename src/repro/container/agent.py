@@ -20,6 +20,7 @@ from repro.orb.typecodes import (
     tc_octetseq,
     tc_string,
 )
+from repro.util.errors import ValidationError
 from repro.xmlmeta.versions import VersionRange
 
 AGENT_ERROR_TC = except_tc(
@@ -68,13 +69,34 @@ CONTAINER_AGENT_IFACE = InterfaceDef(
 )
 
 
+class StateDecodeError(ValidationError):
+    """An externalized-state blob failed to decode.
+
+    State travels the wire as an opaque octet sequence, so link-level
+    corruption (or a buggy peer) can hand back bytes that are not a
+    valid snapshot.  Consumers must treat that as a *bad snapshot*,
+    never as a fatal error: a supervisor keeps its previous checkpoint,
+    an incarnation attempt fails cleanly and is retried.
+    """
+
+
 def dumps_state(state: dict) -> bytes:
     """Externalized-state wire form (stands in for CDR valuetype)."""
     return pickle.dumps(state, protocol=4)
 
 
 def loads_state(data: bytes) -> dict:
-    return pickle.loads(data)
+    try:
+        state = pickle.loads(data)
+    except Exception as exc:
+        raise StateDecodeError(
+            f"corrupt externalized state ({len(data)} bytes): "
+            f"{exc}") from None
+    if not isinstance(state, dict):
+        raise StateDecodeError(
+            f"externalized state decoded to {type(state).__name__}, "
+            f"expected dict")
+    return state
 
 
 class ContainerAgentServant(Servant):
@@ -167,4 +189,8 @@ class ContainerAgentServant(Servant):
         instance = self.container.find_instance(instance_id)
         if instance is None:
             raise AgentError(f"no instance {instance_id!r}")
-        instance.executor.set_state(loads_state(state))
+        try:
+            decoded = loads_state(state)
+        except StateDecodeError as exc:
+            raise AgentError(str(exc)) from None
+        instance.executor.set_state(decoded)

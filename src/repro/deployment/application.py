@@ -41,6 +41,17 @@ class DeploymentError(ReproError):
     """Assembly could not be deployed or wired."""
 
 
+class RepairSuperseded(DeploymentError):
+    """A queued repair lost its race and must not incarnate.
+
+    Raised when the repair's fencing epoch no longer matches the
+    instance's — some other recovery or migration already re-incarnated
+    it while this repair was still planning.  Callers treat it as a
+    clean abort, not a failure: the instance is fine, just not by this
+    repair's hand.
+    """
+
+
 @dataclass
 class Application:
     """A deployed assembly: live instances plus their wiring."""
@@ -50,10 +61,22 @@ class Application:
     infos: dict[str, InstanceInfo]
     deployer: "Deployer"
     torn_down: bool = False
+    #: instance name -> incarnation fencing epoch, bumped by every
+    #: successful repair or migration.  A repair planned against epoch
+    #: E refuses to incarnate once the instance's epoch moved past E
+    #: (see :exc:`RepairSuperseded`): without the fence, a host that
+    #: heals — or a competing recovery that wins — while a repair is
+    #: still gathering views yields *two* live incarnations of the
+    #: same instance id.
+    incarnations: dict[str, int] = field(default_factory=dict)
 
     @property
     def name(self) -> str:
         return self.assembly.name
+
+    def incarnation(self, instance_name: str) -> int:
+        """Current fencing epoch of one instance (0 = as deployed)."""
+        return self.incarnations.get(instance_name, 0)
 
     def host_of(self, instance_name: str) -> str:
         return self.placement[instance_name]
@@ -110,11 +133,14 @@ class Application:
                                     target_host)
         self.infos[instance_name] = info
         self.placement[instance_name] = target_host
+        self.incarnations[instance_name] = \
+            self.incarnation(instance_name) + 1
         yield from self._rewire(instance_name)
         return info
 
     def repair(self, instance_name: str, target_host: str,
-               state: Optional[dict] = None) -> Event:
+               state: Optional[dict] = None,
+               fence: Optional[int] = None) -> Event:
         """Re-incarnate an instance stranded on a dead host.
 
         Unlike :meth:`migrate`, repair never talks to the source host —
@@ -122,13 +148,17 @@ class Application:
         instance is incarnated on *target_host* under its old id with
         *state* (last checkpoint, or empty), its outgoing wiring is
         rebuilt from the assembly descriptor, and connections pointing
-        at it are re-aimed at the new incarnation.
+        at it are re-aimed at the new incarnation.  *fence*, when
+        given, is the :meth:`incarnation` epoch this repair was planned
+        against; the repair aborts with :exc:`RepairSuperseded` if the
+        epoch moved in the meantime.
         """
         return self.deployer.env.process(
-            self._repair(instance_name, target_host, state))
+            self._repair(instance_name, target_host, state, fence))
 
     def _repair(self, instance_name: str, target_host: str,
-                state: Optional[dict] = None):
+                state: Optional[dict] = None,
+                fence: Optional[int] = None):
         old_host = self.placement[instance_name]
         old_id = self.instance_id(instance_name)
         decl = next(i for i in self.assembly.instances
@@ -138,9 +168,21 @@ class Application:
         receptacles, subscriptions = self._outgoing_wiring(instance_name)
         agent = self.deployer.coordinator.service_stub(target_host,
                                                        "container")
+        # Last fence check before the irreversible step: the install
+        # above yielded, and a competing recovery may have finished in
+        # the meantime.  Incarnating anyway would duplicate the
+        # instance.
+        if fence is not None and self.incarnation(instance_name) != fence:
+            raise RepairSuperseded(
+                f"repair of {instance_name!r} planned at incarnation "
+                f"{fence} superseded (now "
+                f"{self.incarnation(instance_name)})"
+            )
         value = yield agent.incarnate(
             decl.component, decl.versions.text, old_id,
             dumps_state(state or {}), receptacles, subscriptions)
+        self.incarnations[instance_name] = \
+            self.incarnation(instance_name) + 1
         self.infos[instance_name] = InstanceInfo.from_value(value)
         self.placement[instance_name] = target_host
         if old_host != target_host:

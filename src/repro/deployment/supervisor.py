@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.container.agent import loads_state
+from repro.container.agent import StateDecodeError, loads_state
 from repro.container.replication import (
     ReplicaGroup,
     ReplicaManager,
@@ -42,6 +42,7 @@ from repro.deployment.application import (
     Application,
     Deployer,
     DeploymentError,
+    RepairSuperseded,
 )
 from repro.deployment.planner import PlacementError
 from repro.obs import RECOVERY_LATENCY_HIST
@@ -69,6 +70,9 @@ class _Pending:
     detected: float
     next_try: float
     attempts: int = 0
+    #: the instance's incarnation epoch when it was detected stranded;
+    #: the repair is fenced on it (see Application.incarnations).
+    epoch: int = 0
 
 
 class ApplicationSupervisor:
@@ -98,6 +102,10 @@ class ApplicationSupervisor:
         #: instance_id -> last externalized state seen alive.
         self.checkpoints: dict[str, dict] = {}
         self._pending: dict[tuple[str, str], _Pending] = {}
+        #: instances with a recovery currently in flight — a second
+        #: tick (or a run_once overlapping the loop) must not start a
+        #: competing repair of the same instance.
+        self._repairing: set[tuple[str, str]] = set()
         self._live_cache: Optional[tuple[float, set]] = None
         #: (app.name, instance) -> app, connections still to re-wire.
         self._pending_rewires: dict[tuple[str, str], Application] = {}
@@ -113,6 +121,7 @@ class ApplicationSupervisor:
         # The coordinator's RAM is gone with it.
         self.checkpoints.clear()
         self._pending.clear()
+        self._repairing.clear()
         self._pending_rewires.clear()
 
     def _on_restart(self, _host) -> None:
@@ -242,6 +251,10 @@ class ApplicationSupervisor:
                 continue
             for name in list(app.placement):
                 key = (app.name, name)
+                if key in self._repairing:
+                    # Another pass is mid-recovery on this instance;
+                    # racing it would double-incarnate.
+                    continue
                 if self._host_alive(app.placement[name]):
                     # Back (or never gone): the instance survived in its
                     # container; nothing to recover.
@@ -250,7 +263,8 @@ class ApplicationSupervisor:
                 pend = self._pending.get(key)
                 if pend is None:
                     pend = _Pending(detected=self.env.now,
-                                    next_try=self.env.now)
+                                    next_try=self.env.now,
+                                    epoch=app.incarnation(name))
                     self._pending[key] = pend
                     self.node.metrics.counter("supervisor.stranded").inc()
                     self._signal("stranded", application=app.name,
@@ -258,7 +272,11 @@ class ApplicationSupervisor:
                                  host=app.placement[name])
                 if self.env.now < pend.next_try:
                     continue
-                yield from self._recover_instance(app, name, pend)
+                self._repairing.add(key)
+                try:
+                    yield from self._recover_instance(app, name, pend)
+                finally:
+                    self._repairing.discard(key)
 
     def _recover_instance(self, app: Application, name: str,
                           pend: _Pending):
@@ -274,7 +292,31 @@ class ApplicationSupervisor:
             target = self.deployer.planner.replan_instance(
                 app.assembly, name, views, qos_of, exclude=(dead_host,))
             state = self.checkpoints.get(app.instance_id(name))
-            skipped = yield from app._repair(name, target, state)
+            # Planning yielded; the world may have moved on.  If the
+            # "dead" host healed, its container still holds the live,
+            # authoritative instance — re-incarnating it elsewhere now
+            # would duplicate it and roll its state back to the last
+            # checkpoint.  Same if a competing recovery already bumped
+            # the incarnation epoch.
+            if (self._host_alive(dead_host)
+                    or app.incarnation(name) != pend.epoch):
+                raise RepairSuperseded(
+                    f"{name!r} came back on {dead_host} (or was "
+                    f"repaired by someone else) while recovery was "
+                    f"planning")
+            skipped = yield from app._repair(name, target, state,
+                                             fence=pend.epoch)
+        except RepairSuperseded as exc:
+            # Clean abort, not a failure: the instance is alive again
+            # (or already repaired); drop the queued recovery.
+            self._pending.pop((app.name, name), None)
+            self.node.metrics.counter("supervisor.repair.fenced").inc()
+            self._signal("repair_fenced", application=app.name,
+                         instance=name, host=dead_host)
+            if span:
+                obs.tracer.end_span(span, status="fenced",
+                                    error=str(exc))
+            return
         except (PlacementError, DeploymentError, SystemException,
                 UserException) as exc:
             # Degrade gracefully: keep the recovery queued and back off.
@@ -335,5 +377,13 @@ class ApplicationSupervisor:
                     data = yield agent.get_state(app.instance_id(name))
                 except (SystemException, UserException):
                     continue
-                self.checkpoints[app.instance_id(name)] = loads_state(data)
+                try:
+                    state = loads_state(data)
+                except StateDecodeError:
+                    # Wire corruption handed back garbage: keep the
+                    # previous good checkpoint, never die over it.
+                    self.node.metrics.counter(
+                        "supervisor.checkpoints.corrupt").inc()
+                    continue
+                self.checkpoints[app.instance_id(name)] = state
                 self.node.metrics.counter("supervisor.checkpoints").inc()

@@ -82,6 +82,76 @@ class RetryPolicy:
         return float(rng.uniform(0.0, scheduled))
 
 
+class RetryBudget:
+    """Global retry-amplification cap shared by a client's retry loops.
+
+    A retry loop multiplies load exactly when the system can least
+    afford it: a partition that times out every first attempt turns N
+    requests/s into ``N × attempts`` requests/s of pure amplification.
+    The budget is a token bucket over *retries* (first attempts are
+    never charged): each first attempt deposits ``ratio`` tokens, each
+    retry withdraws one, and the bucket refills at ``refill_rate``
+    tokens per simulated second up to ``max_tokens``.  While the bucket
+    is dry, retries are *shed* — the loop surfaces its last failure
+    immediately instead of hammering a melting network — and counted
+    under ``orb.retries.shed``.
+
+    With the default ``ratio`` a sustained failure storm settles at
+    roughly ``ratio`` retries per first attempt plus the trickle the
+    refill allows, instead of ``attempts - 1`` per first attempt.
+    """
+
+    def __init__(self, env, metrics, ratio: float = 0.1,
+                 refill_rate: float = 0.5,
+                 max_tokens: float = 50.0,
+                 initial: Optional[float] = None) -> None:
+        if ratio < 0:
+            raise ValueError(f"ratio must be >= 0, got {ratio}")
+        if refill_rate < 0:
+            raise ValueError(f"refill_rate must be >= 0, "
+                             f"got {refill_rate}")
+        if max_tokens < 1:
+            raise ValueError(f"max_tokens must be >= 1, got {max_tokens}")
+        self.env = env
+        self.metrics = metrics
+        self.ratio = ratio
+        self.refill_rate = refill_rate
+        self.max_tokens = max_tokens
+        self.tokens = max_tokens if initial is None else float(initial)
+        self.shed = 0
+        self.spent = 0
+        self._last_refill = env.now
+
+    def _refill(self) -> None:
+        now = self.env.now
+        if now > self._last_refill:
+            self.tokens = min(self.max_tokens, self.tokens +
+                              (now - self._last_refill) * self.refill_rate)
+            self._last_refill = now
+
+    def available(self) -> float:
+        """Current token balance (after time-based refill)."""
+        self._refill()
+        return self.tokens
+
+    def on_attempt(self) -> None:
+        """A first attempt went out: deposit its retry allowance."""
+        self._refill()
+        self.tokens = min(self.max_tokens, self.tokens + self.ratio)
+
+    def try_spend(self) -> bool:
+        """Withdraw one retry token; False (and counted) when dry."""
+        self._refill()
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            self.spent += 1
+            return True
+        self.shed += 1
+        if self.metrics is not None:
+            self.metrics.counter("orb.retries.shed").inc()
+        return False
+
+
 class CircuitBreaker:
     """Client-side circuit breaker for one sick peer.
 
@@ -223,9 +293,14 @@ class BreakerRegistry:
     per-peer, so one sick node never blocks calls to healthy ones.
     """
 
-    def __init__(self, orb: ORB, **breaker_kwargs) -> None:
+    def __init__(self, orb: ORB,
+                 retry_budget: Optional[RetryBudget] = None,
+                 **breaker_kwargs) -> None:
         self.orb = orb
         self.breaker_kwargs = breaker_kwargs
+        #: optional shared :class:`RetryBudget` capping the aggregate
+        #: retry amplification of every loop using this registry.
+        self.retry_budget = retry_budget
         self._breakers: dict[str, CircuitBreaker] = {}
 
     def breaker_for(self, peer: str) -> CircuitBreaker:
@@ -262,7 +337,8 @@ def invoke_with_retry(orb: ORB, ior: IOR, odef: OperationDef,
                       args: Sequence[Any],
                       policy: Optional[RetryPolicy] = None,
                       meter: Optional[str] = None,
-                      breaker: Optional[CircuitBreaker] = None):
+                      breaker: Optional[CircuitBreaker] = None,
+                      budget: Optional[RetryBudget] = None):
     """Generator: invoke with retries; yields events, returns the result.
 
     Use from simulation processes::
@@ -270,10 +346,15 @@ def invoke_with_retry(orb: ORB, ior: IOR, odef: OperationDef,
         result = yield from invoke_with_retry(orb, ior, odef, args)
 
     Raises the last retryable exception once attempts (or the policy
-    deadline) are exhausted.
+    deadline) are exhausted.  When *budget* is given, every retry must
+    first win a token from it; a dry budget sheds the remaining
+    retries (the last failure surfaces immediately), capping the
+    fleet-wide amplification a correlated failure can cause.
     """
     policy = policy or RetryPolicy()
     env = orb.env
+    if budget is not None:
+        budget.on_attempt()
     rng = (orb.network.rngs.stream(JITTER_STREAM) if policy.jitter
            else None)
     start = env.now
@@ -299,6 +380,8 @@ def invoke_with_retry(orb: ORB, ior: IOR, odef: OperationDef,
             remaining = (None if policy.deadline is None
                          else policy.deadline - (env.now - start))
             if attempt > 0:
+                if budget is not None and not budget.try_spend():
+                    break  # retry budget dry: shed instead of amplify
                 delay = policy.delay_before(attempt, rng=rng)
                 if remaining is not None and delay >= remaining:
                     break  # sleeping would blow the budget; give up now
@@ -363,8 +446,9 @@ def invoke_with_retry(orb: ORB, ior: IOR, odef: OperationDef,
 def call_with_retry(orb: ORB, ior: IOR, odef: OperationDef,
                     args: Sequence[Any],
                     policy: Optional[RetryPolicy] = None,
-                    breaker: Optional[CircuitBreaker] = None):
+                    breaker: Optional[CircuitBreaker] = None,
+                    budget: Optional[RetryBudget] = None):
     """Synchronous variant for test/driver code outside the simulation."""
     return orb.sync(orb.env.process(
         invoke_with_retry(orb, ior, odef, args, policy=policy,
-                          breaker=breaker)))
+                          breaker=breaker, budget=budget)))

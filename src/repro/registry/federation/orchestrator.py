@@ -50,6 +50,10 @@ class FederationConfig:
     query_timeout: float = 2.0
     placement: str = "auto"
     seed_peer_count: int = 2         # static bootstrap peers per owner
+    #: how far into the future an incoming report epoch may point
+    #: before owners clamp it (defends record TTLs and membership
+    #: freshness against clock-skewed reporters).
+    epoch_tolerance: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.owners < 1:
@@ -62,6 +66,8 @@ class FederationConfig:
             self.member_timeout = 3.0 * self.update_interval
         if self.record_timeout is None:
             self.record_timeout = 3.0 * self.update_interval
+        if self.epoch_tolerance is None:
+            self.epoch_tolerance = self.gossip_interval
 
     def mrm_config(self) -> MrmConfig:
         return MrmConfig(update_interval=self.update_interval,
@@ -78,6 +84,10 @@ class FederationReporter:
         self.ring = ring
         self.config = config
         self.phase = phase % config.update_interval
+        #: simulated clock error of this reporter: its publishes stamp
+        #: ``env.now + clock_skew`` as their epoch.  Fault injection
+        #: (repro.chaos) sets this; owners clamp what they accept.
+        self.clock_skew = 0.0
         self.reports_sent = 0
         self._proc = None
         self._start()
@@ -133,7 +143,7 @@ class FederationReporter:
 
     def send_now(self) -> None:
         node = self.node
-        epoch = node.env.now
+        epoch = node.env.now + self.clock_skew
         view = NodeView.collect(node)
         by_owner: dict[str, list] = {}
         # Presence beacon: even a node providing nothing reports to the

@@ -5,12 +5,21 @@ a ring lookup: the owners of ``hash(repo_id)`` — and only those — are
 asked for candidates, in failover order.  The query cost is O(owners
 consulted), independent of population size, which is the federated
 registry's scaling argument (benchmark C18).
+
+Resolution must *degrade*, not die, when the neighborhood does: if
+none of the key's replication-set owners answers (all crashed, or
+partitioned away together), the resolver widens to the remaining ring
+owners in ring order, and — only when the whole ring is unreachable —
+falls back to a flood query of the population.  The flood tier is
+O(hosts) and exists purely as the emergency path; its use is counted
+(``federation.lookup.flood_fallback``) so operators see when the ring
+stopped carrying lookups.
 """
 
 from __future__ import annotations
 
 from repro.orb.exceptions import SystemException, TRANSIENT
-from repro.registry.queries import ResolverBase
+from repro.registry.queries import FloodResolver, ResolverBase
 from repro.registry.federation.shard import SHARD_IFACE, shard_ior
 from repro.xmlmeta.descriptors import QoSSpec
 
@@ -25,12 +34,27 @@ class FederatedResolver(ResolverBase):
                          placement=config.placement)
         self.ring = ring
         self.fed_config = config
+        self._flood = None
 
     def _find(self, repo_id: str, qos: QoSSpec):
         node = self.node
-        owners = self.ring.owners(repo_id, self.fed_config.replication)
-        answered = False
-        for host in owners:
+        primaries = self.ring.owners(repo_id, self.fed_config.replication)
+        # Widen past the replication set only when it failed entirely:
+        # the extra ring owners hold the key's records after a
+        # rebalance moved it onto them (anti-entropy backfill), and
+        # answer authoritatively then.
+        extras = [h for h in self.ring.owners(repo_id, len(self.ring))
+                  if h not in primaries]
+        primary_answered = False
+        for host in primaries + extras:
+            if primary_answered and host in extras:
+                # A replication-set owner already answered (empty).
+                # That is authoritative — it owns the key — so don't
+                # widen to owners that merely *might* hold stale state.
+                break
+            if host in extras:
+                node.metrics.counter(
+                    "federation.lookup.ring_fallback").inc()
             try:
                 values = yield node.orb.invoke(
                     shard_ior(host), _LOOKUP,
@@ -41,11 +65,27 @@ class FederatedResolver(ResolverBase):
             except SystemException:
                 node.metrics.counter("federation.lookup.failover").inc()
                 continue
-            answered = True
             if values:
                 from repro.registry.view import Candidate
                 return [Candidate.from_value(v) for v in values]
-        if not answered:
-            raise TRANSIENT(
-                f"no shard owner of {repo_id!r} answered the lookup")
+            if host in primaries:
+                # An extra owner's empty answer proves only that the
+                # ring is reachable, not that the key has no records —
+                # keep going, and let the flood tier decide.
+                primary_answered = True
+        if not primary_answered:
+            # No owner of the key answered: its whole replication set
+            # is dead or unreachable.  Survive it: interrogate the
+            # population directly, like the pre-ring flood protocol
+            # did.  Expensive, but correct — a registry outage must
+            # not make running providers unresolvable.
+            node.metrics.counter("federation.lookup.flood_fallback").inc()
+            return (yield from self._flood_find(repo_id, qos))
         return []
+
+    def _flood_find(self, repo_id: str, qos: QoSSpec):
+        if self._flood is None:
+            self._flood = FloodResolver(
+                self.node, self.node.network.topology.host_ids(),
+                self.config, placement=self.placement)
+        return (yield from self._flood._find(repo_id, qos))

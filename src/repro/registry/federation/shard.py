@@ -24,6 +24,7 @@ beacons piggybacked on every gossip frame.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Optional, Sequence
 
 from repro.orb.core import InterfaceDef, Servant, op
@@ -276,18 +277,64 @@ class ShardAgent:
         return self.host_id in self.ring.owners(
             repo_id, self.config.replication)
 
+    def _clamp_epoch(self, epoch: float, now: float) -> float:
+        """Cap a reported epoch at ``now + epoch_tolerance``.
+
+        Epochs are *soft-state TTL clocks*: a record whose epoch sits
+        far in the future is never swept, beats every honest refresh,
+        and keeps a dead host "fresh" in the membership view forever.
+        One clock-skewed reporter could therefore poison every owner
+        it reaches.  Owners only ever trust their own clock: whatever
+        a publish or gossip frame claims, the accepted epoch is at
+        most (almost) the local receive time.
+        """
+        limit = now + self.config.epoch_tolerance
+        if epoch <= limit:
+            return epoch
+        self.node.metrics.counter("federation.epoch_clamped").inc()
+        return limit
+
+    def _known_host(self, host: str) -> bool:
+        """Membership/record host ids must name real population hosts.
+
+        State arrives over an unreliable wire: a bit flip inside a
+        host-id string survives CDR decoding (same length, different
+        bytes) and, unchecked, a phantom host enters the membership
+        table — after which gossip fan-out tries to *route* to it and
+        the owner's loop dies on an unknown-destination error.  The
+        topology is the ground truth of who can exist; anything else
+        is dropped and counted.
+        """
+        if host in self.node.network.topology:
+            return True
+        self.node.metrics.counter("federation.rejected.unknown_host").inc()
+        return False
+
     def accept_publish(self, origin: str, epoch: float,
                        records: Sequence[dict]) -> None:
         now = self.env.now
-        self.membership.observe_member(origin, epoch, now)
+        epoch = self._clamp_epoch(epoch, now)
+        if self._known_host(origin):
+            self.membership.observe_member(origin, epoch, now)
         for value in records:
-            self.store.apply(ProviderRecord.from_value(value), now)
+            record = ProviderRecord.from_value(value)
+            if not self._known_host(record.host):
+                continue
+            clamped = self._clamp_epoch(record.epoch, now)
+            if clamped != record.epoch:
+                record = replace(record, epoch=clamped)
+            self.store.apply(record, now)
 
     def accept_gossip(self, records: Sequence[dict],
                       beacons: Sequence[dict]) -> None:
         now = self.env.now
         for value in beacons:
             beacon = HostBeacon.from_value(value)
+            if not self._known_host(beacon.host):
+                continue
+            clamped = self._clamp_epoch(beacon.epoch, now)
+            if clamped != beacon.epoch:
+                beacon = replace(beacon, epoch=clamped)
             if beacon.owner:
                 self.membership.apply(beacon)
             else:
@@ -297,9 +344,14 @@ class ShardAgent:
                                                now)
         for value in records:
             record = ProviderRecord.from_value(value)
+            if not self._known_host(record.host):
+                continue
             # Keep shards bounded: only merge records this owner is
             # responsible for under the current ring.
             if self._owns(record.repo_id):
+                clamped = self._clamp_epoch(record.epoch, now)
+                if clamped != record.epoch:
+                    record = replace(record, epoch=clamped)
                 self.store.apply(record, now)
 
     # -- queries ------------------------------------------------------------

@@ -182,6 +182,15 @@ class Network:
             Timeout(env, 0.0, msg).callbacks.append(self._deliver)
             return msg
 
+        if dst not in self.topology:
+            # Destination addresses are data-plane payload (IORs travel
+            # the wire and can arrive corrupted): an address naming no
+            # real host is dropped like any unroutable packet, and the
+            # sender's reply deadline deals with it — it must never
+            # blow back into the sending process as a config error.
+            self.metrics.counter("net.dropped.unknown_dst").inc()
+            return msg
+
         links = self.topology.route_links(src, dst)
         if links is None:
             self.metrics.counter("net.dropped.unreachable").inc()

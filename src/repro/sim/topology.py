@@ -184,6 +184,9 @@ class Topology:
         except KeyError:
             raise ConfigurationError(f"unknown host {host_id!r}") from None
 
+    def __contains__(self, host_id: str) -> bool:
+        return host_id in self._hosts
+
     def hosts(self) -> list[Host]:
         return list(self._hosts.values())
 

@@ -1,0 +1,103 @@
+"""Chaos-campaign runner CLI.
+
+Run seeded chaos campaigns against the standard scenario and report
+invariant violations::
+
+    python -m repro.tools.chaos --seed 7
+    python -m repro.tools.chaos --seed 100 --campaigns 5 --horizon 60
+    python -m repro.tools.chaos --seed 7 --json report.json
+    python -m repro.tools.chaos --replay report.json
+
+``--campaigns K`` runs seeds ``N .. N+K-1``.  ``--replay`` re-runs a
+saved report's seed and config and compares the canonical JSON byte
+for byte — a violation report is its own reproducer.  Exit status is
+0 when every campaign (or the replay comparison) is clean, 1
+otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.chaos import CampaignConfig, ChaosReport, run_campaign
+
+
+def _config_from_args(args) -> CampaignConfig:
+    return CampaignConfig(horizon=args.horizon, mean_gap=args.mean_gap,
+                          mean_dwell=args.mean_dwell,
+                          settle=args.settle)
+
+
+def _config_from_report(report: ChaosReport) -> CampaignConfig:
+    cfg = dict(report.config)
+    weights = tuple((kind, float(weight))
+                    for kind, weight in cfg.pop("weights", []))
+    if weights:
+        cfg["weights"] = weights
+    return CampaignConfig(**cfg)
+
+
+def _replay(path: str) -> int:
+    with open(path, "r", encoding="utf-8") as fh:
+        saved = ChaosReport.from_dict(json.load(fh))
+    print(f"replaying seed {saved.seed} "
+          f"(horizon {saved.horizon:g}s)...")
+    fresh = run_campaign(saved.seed, config=_config_from_report(saved))
+    if fresh.to_json() == saved.to_json():
+        print(f"replay is byte-identical (digest {fresh.digest()})")
+        return 0
+    print("REPLAY DIVERGED from the saved report:")
+    print(f"  saved  digest {saved.digest()}")
+    print(f"  replay digest {fresh.digest()}")
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.chaos", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--seed", type=int, default=1,
+                        help="first campaign seed (default 1)")
+    parser.add_argument("--campaigns", type=int, default=1,
+                        help="number of consecutive seeds to run")
+    parser.add_argument("--horizon", type=float, default=60.0,
+                        help="fault-injection window in sim seconds")
+    parser.add_argument("--mean-gap", type=float, default=3.0,
+                        help="mean sim seconds between fault actions")
+    parser.add_argument("--mean-dwell", type=float, default=6.0,
+                        help="mean sim seconds a fault stays applied")
+    parser.add_argument("--settle", type=float, default=0.0,
+                        help="quiescence settle (0 = derived)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the (last) report as JSON")
+    parser.add_argument("--replay", metavar="PATH",
+                        help="re-run a saved report's seed and compare")
+    args = parser.parse_args(argv)
+
+    if args.replay:
+        return _replay(args.replay)
+
+    config = _config_from_args(args)
+    failures = 0
+    report = None
+    for seed in range(args.seed, args.seed + args.campaigns):
+        report = run_campaign(seed, config=config)
+        print(report.render_text())
+        if not report.ok:
+            failures += 1
+    if args.json and report is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+        print(f"wrote {args.json}")
+    if failures:
+        print(f"{failures}/{args.campaigns} campaign(s) violated "
+              f"invariants")
+        return 1
+    print(f"{args.campaigns} campaign(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Unit tests for the chaos report model (canonical serialization)."""
+
+import json
+
+from repro.chaos import (
+    ChaosAction,
+    ChaosReport,
+    InvariantCheck,
+    InvariantViolation,
+)
+from repro.chaos.report import canonical_json
+
+
+def sample_report():
+    return ChaosReport(
+        seed=7, horizon=30.0, settle=12.5,
+        config={"horizon": 30.0, "weights": [["crash_host", 3.0]]},
+        actions=[
+            ChaosAction(1.5, "crash_host", "c1h1",
+                        detail=(("dwell", 4.0),)),
+            ChaosAction(5.5, "heal.crash_host", "c1h1"),
+        ],
+        checks=[
+            InvariantCheck(2.0, "loops.alive", "mid", True, "all live"),
+            InvariantCheck(20.0, "deployment.no_orphans", "quiescence",
+                           True, "2 instances, all singular"),
+        ],
+        violations=[],
+        metrics={"chaos.actions": 1.0, "client.ok": 40},
+    )
+
+
+class TestCanonicalJson:
+    def test_sorted_keys_and_tight_separators(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == '{"a":[2,3],"b":1}'
+
+    def test_json_is_stable_across_calls(self):
+        report = sample_report()
+        assert report.to_json() == report.to_json()
+        assert report.digest() == report.digest()
+
+    def test_digest_changes_with_content(self):
+        a = sample_report()
+        b = sample_report()
+        b.actions.append(ChaosAction(9.0, "wan_flap", "c0h0-c1h0"))
+        assert a.digest() != b.digest()
+
+    def test_ok_reflects_violations(self):
+        report = sample_report()
+        assert report.ok
+        report.violations.append(InvariantViolation(
+            21.0, "federation.membership", "quiescence",
+            "membership diverged", seed=7,
+            trace=("t=1.500 crash_host(c1h1)",)))
+        assert not report.ok
+        assert "VIOLATIONS" in report.render_text()
+        assert "--seed 7" in report.render_text()
+
+
+class TestRoundTrip:
+    def test_from_dict_round_trips_to_identical_json(self):
+        report = sample_report()
+        rebuilt = ChaosReport.from_dict(json.loads(report.to_json()))
+        assert rebuilt.to_json() == report.to_json()
+        assert rebuilt.digest() == report.digest()
+
+    def test_violation_round_trip_keeps_seed_and_trace(self):
+        report = sample_report()
+        report.violations.append(InvariantViolation(
+            21.0, "replica.single_primary", "quiescence",
+            "no primary", seed=7, trace=("a", "b")))
+        rebuilt = ChaosReport.from_dict(json.loads(report.to_json()))
+        assert rebuilt.violations[0].seed == 7
+        assert rebuilt.violations[0].trace == ("a", "b")
+        assert not rebuilt.ok
+
+    def test_action_counts(self):
+        report = sample_report()
+        assert report.action_counts() == {"crash_host": 1,
+                                          "heal.crash_host": 1}
+        assert "crash_host=1" in report.render_text()
