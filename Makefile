@@ -1,16 +1,24 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test selftest lint bench bench-orb bench-eventbus \
-	bench-federation bench-chaos faults fuzz chaos
+.PHONY: check test selftest lint lint-src bench bench-orb \
+	bench-eventbus bench-federation bench-chaos bench-simlint \
+	faults fuzz chaos
 
-# The one-stop gate: descriptor lint, observability + availability +
-# static-gate end-to-end selftests, then the full tier-1 suite.
-check: lint selftest test
+# The one-stop gate: descriptor + source lint, observability +
+# availability + static-gate end-to-end selftests, then the full
+# tier-1 suite.
+check: lint lint-src selftest test
 
 # static verification of the shipped IDL + descriptor fixtures
 lint:
 	$(PYTHON) -m repro.tools.lint examples/descriptors
+
+# determinism / control-loop / paired-effect / name-hygiene lint of
+# the source tree itself (C20)
+lint-src:
+	$(PYTHON) -m repro.tools.simlint src/repro \
+		--baseline simlint-baseline.json
 
 selftest:
 	$(PYTHON) -m repro.tools.obs_report --selftest
@@ -21,6 +29,7 @@ selftest:
 	$(PYTHON) benchmarks/bench_eventbus.py --selftest
 	$(PYTHON) benchmarks/bench_federation.py --selftest
 	$(PYTHON) benchmarks/bench_chaos.py --selftest
+	$(PYTHON) benchmarks/bench_simlint.py --selftest
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -55,3 +64,7 @@ bench-federation:
 # regenerate BENCH_chaos.json (C19 seeded chaos campaigns)
 bench-chaos:
 	$(PYTHON) benchmarks/bench_to_json.py --suite chaos
+
+# regenerate BENCH_simlint.json (C20 seeded-defect lint corpus)
+bench-simlint:
+	$(PYTHON) benchmarks/bench_to_json.py --suite simlint

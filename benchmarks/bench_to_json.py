@@ -31,6 +31,7 @@ OUT = ROOT / "BENCH_orb.json"
 OUT_EVENTBUS = ROOT / "BENCH_eventbus.json"
 OUT_FEDERATION = ROOT / "BENCH_federation.json"
 OUT_CHAOS = ROOT / "BENCH_chaos.json"
+OUT_SIMLINT = ROOT / "BENCH_simlint.json"
 
 # Measured on this repo immediately before the compiled-codec PR, when
 # every encode/decode walked the TypeCode interpreter.  Kept here so the
@@ -241,6 +242,38 @@ def distill_chaos(raw: dict, history: list) -> dict:
     }
 
 
+def distill_simlint(raw: dict, history: list) -> dict:
+    by_name = {}
+    for bench in raw.get("benchmarks", []):
+        name = bench["name"].split("[")[0]
+        by_name[name] = {
+            "mean_s": bench["stats"]["mean"],
+            "stddev_s": bench["stats"]["stddev"],
+            "rounds": bench["stats"]["rounds"],
+            **bench.get("extra_info", {}),
+        }
+    corpus = by_name.get("test_seeded_defect_detection", {})
+    current = {
+        "label": "simlint seeded-defect corpus + whole-tree scan",
+        "planted_defects": corpus.get("planted"),
+        "detected": corpus.get("detected"),
+        "false_alarms": corpus.get("false_alarms"),
+        "files_scanned": corpus.get("files_scanned"),
+        "tree_scan_wall_s": corpus.get("tree_wall_s"),
+        "tree_scan_mean_s": corpus.get("mean_s"),
+    }
+    return {
+        "generated": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "bench": "bench_simlint.py (C20)",
+        "machine": raw.get("machine_info", {}).get("cpu", {}).get(
+            "brand_raw", "unknown"),
+        "current": current,
+        "history": history,
+        "raw": by_name,
+    }
+
+
 def main() -> int:
     import argparse
 
@@ -248,9 +281,21 @@ def main() -> int:
         description="distill benchmark suites into BENCH_*.json")
     parser.add_argument("--suite",
                         choices=("orb", "eventbus", "federation",
-                                 "chaos"),
+                                 "chaos", "simlint"),
                         default="orb")
     args = parser.parse_args()
+
+    if args.suite == "simlint":
+        result = distill_simlint(run_benchmarks("bench_simlint.py"),
+                                 load_history(OUT_SIMLINT))
+        OUT_SIMLINT.write_text(json.dumps(result, indent=2) + "\n")
+        cur = result["current"]
+        print(f"wrote {OUT_SIMLINT}")
+        print(f"  {cur['detected']}/{cur['planted_defects']} planted "
+              f"defects detected, {cur['false_alarms']} false alarms; "
+              f"{cur['files_scanned']} files scanned in "
+              f"{cur['tree_scan_wall_s']:.2f}s")
+        return 0
 
     if args.suite == "chaos":
         result = distill_chaos(run_benchmarks("bench_chaos.py"),

@@ -171,10 +171,20 @@ class StaticPlanner(PlannerBase):
 
 
 class RandomPlanner(PlannerBase):
-    """Uniform random placement among hosts that fit."""
+    """Uniform random placement among hosts that fit.
 
-    def __init__(self, rng: np.random.Generator) -> None:
-        self.rng = rng
+    Accepts either a ready generator or an
+    :class:`~repro.sim.rng.RngRegistry`, from which the dedicated
+    ``deployment.random_planner`` stream is drawn — so two planners
+    built over equal-seeded registries place identically.
+    """
+
+    STREAM = "deployment.random_planner"
+
+    def __init__(self, rng) -> None:
+        stream = getattr(rng, "stream", None)
+        self.rng: np.random.Generator = (
+            stream(self.STREAM) if callable(stream) else rng)
 
     def plan(self, assembly, views, qos_of):
         cpu, mem = self._free_tables(views, dynamic=True)

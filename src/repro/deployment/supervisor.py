@@ -46,6 +46,7 @@ from repro.deployment.application import (
 )
 from repro.deployment.planner import PlacementError
 from repro.obs import RECOVERY_LATENCY_HIST
+from repro.obs import names
 from repro.orb.exceptions import SystemException, UserException
 from repro.sim.kernel import Event, Interrupt
 
@@ -200,7 +201,7 @@ class ApplicationSupervisor:
                 continue                # crashed again; retry next pass
             if entry in self.deployer.orphans:
                 self.deployer.orphans.remove(entry)
-            self.node.metrics.counter("supervisor.orphans_swept").inc()
+            self.node.metrics.counter(names.SUPERVISOR_ORPHANS_SWEPT).inc()
             self._signal("orphan_swept", host=host,
                          instance=instance_id)
 
@@ -213,7 +214,7 @@ class ApplicationSupervisor:
             if self._host_alive(primary.host):
                 continue
             obs = getattr(self.node.orb, "obs", None)
-            span = obs.span("supervisor.promote", host=self.node.host_id,
+            span = obs.span(names.SPAN_SUPERVISOR_PROMOTE, host=self.node.host_id,
                             attrs={"component": group.component,
                                    "dead_host": primary.host}) if obs else None
             epoch_before = group.epoch
@@ -221,13 +222,13 @@ class ApplicationSupervisor:
                 new_primary = group.select_primary(self.topology)
             except ReplicationError as exc:
                 self.node.metrics.counter(
-                    "supervisor.recovery.deferred").inc()
+                    names.SUPERVISOR_RECOVERY_DEFERRED).inc()
                 if span:
                     obs.tracer.end_span(span, status="deferred",
                                         error=str(exc))
                 continue
             if group.epoch != epoch_before:
-                self.node.metrics.counter("supervisor.promotions").inc()
+                self.node.metrics.counter(names.SUPERVISOR_PROMOTIONS).inc()
                 self.recoveries.append(RecoveryRecord(
                     time=self.env.now, kind="promote",
                     name=group.component, old_host=primary.host,
@@ -266,7 +267,7 @@ class ApplicationSupervisor:
                                     next_try=self.env.now,
                                     epoch=app.incarnation(name))
                     self._pending[key] = pend
-                    self.node.metrics.counter("supervisor.stranded").inc()
+                    self.node.metrics.counter(names.SUPERVISOR_STRANDED).inc()
                     self._signal("stranded", application=app.name,
                                  instance=name,
                                  host=app.placement[name])
@@ -282,7 +283,7 @@ class ApplicationSupervisor:
                           pend: _Pending):
         dead_host = app.placement[name]
         obs = getattr(self.node.orb, "obs", None)
-        span = obs.span("supervisor.recover", host=self.node.host_id,
+        span = obs.span(names.SPAN_SUPERVISOR_RECOVER, host=self.node.host_id,
                         attrs={"application": app.name, "instance": name,
                                "dead_host": dead_host,
                                "attempt": pend.attempts + 1}) if obs else None
@@ -310,7 +311,7 @@ class ApplicationSupervisor:
             # Clean abort, not a failure: the instance is alive again
             # (or already repaired); drop the queued recovery.
             self._pending.pop((app.name, name), None)
-            self.node.metrics.counter("supervisor.repair.fenced").inc()
+            self.node.metrics.counter(names.SUPERVISOR_REPAIR_FENCED).inc()
             self._signal("repair_fenced", application=app.name,
                          instance=name, host=dead_host)
             if span:
@@ -324,7 +325,7 @@ class ApplicationSupervisor:
             pend.next_try = self.env.now + min(
                 self.backoff_base * (2 ** (pend.attempts - 1)),
                 self.backoff_cap)
-            self.node.metrics.counter("supervisor.recovery.deferred").inc()
+            self.node.metrics.counter(names.SUPERVISOR_RECOVERY_DEFERRED).inc()
             self._signal("deferred", application=app.name, instance=name,
                          attempts=pend.attempts)
             if span:
@@ -335,7 +336,7 @@ class ApplicationSupervisor:
             self._pending_rewires[(app.name, name)] = app
         self._pending.pop((app.name, name), None)
         latency = self.env.now - pend.detected
-        self.node.metrics.counter("supervisor.recoveries").inc()
+        self.node.metrics.counter(names.SUPERVISOR_RECOVERIES).inc()
         self.node.metrics.histogram(RECOVERY_LATENCY_HIST).record(
             max(latency, 1e-9))
         self.recoveries.append(RecoveryRecord(
@@ -383,7 +384,7 @@ class ApplicationSupervisor:
                     # Wire corruption handed back garbage: keep the
                     # previous good checkpoint, never die over it.
                     self.node.metrics.counter(
-                        "supervisor.checkpoints.corrupt").inc()
+                        names.SUPERVISOR_CHECKPOINTS_CORRUPT).inc()
                     continue
                 self.checkpoints[app.instance_id(name)] = state
-                self.node.metrics.counter("supervisor.checkpoints").inc()
+                self.node.metrics.counter(names.SUPERVISOR_CHECKPOINTS).inc()

@@ -26,6 +26,7 @@ from typing import Callable, Optional
 
 from repro.events.batch_writer import BatchWriter
 from repro.events.worker import WorkerPool
+from repro.obs import names
 from repro.sim.kernel import Environment
 from repro.sim.stats import MetricRegistry
 from repro.util.errors import ConfigurationError
@@ -96,9 +97,9 @@ class EventBus:
         self._topics: dict[str, list[Subscription]] = {}
         #: ("prefix.", sub) for trailing-wildcard patterns ("" matches all)
         self._wildcards: list[tuple[str, Subscription]] = []
-        self._ctr_published = self.metrics.counter("bus.published")
-        self._ctr_delivered = self.metrics.counter("bus.delivered")
-        self._ctr_no_subscriber = self.metrics.counter("bus.no_subscriber")
+        self._ctr_published = self.metrics.counter(names.BUS_PUBLISHED)
+        self._ctr_delivered = self.metrics.counter(names.BUS_DELIVERED)
+        self._ctr_no_subscriber = self.metrics.counter(names.BUS_NO_SUBSCRIBER)
 
     # -- subscribing -----------------------------------------------------
     def subscribe(self, pattern: str, handler: Callable,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional, Sequence
 
+from repro.obs import names
 from repro.orb.core import InterfaceDef, ORB, OperationDef, Servant, op
 from repro.orb.exceptions import SystemException
 from repro.orb.ior import IOR
@@ -85,10 +86,10 @@ class BatchForwarder:
         self.breaker = breaker
         self.meter = meter
         metrics = orb.metrics
-        self._ctr_batches = metrics.counter("bus.remote.batches")
-        self._ctr_events = metrics.counter("bus.remote.events")
-        self._ctr_suppressed = metrics.counter("bus.remote.suppressed")
-        self._ctr_errors = metrics.counter("bus.remote.errors")
+        self._ctr_batches = metrics.counter(names.BUS_REMOTE_BATCHES)
+        self._ctr_events = metrics.counter(names.BUS_REMOTE_EVENTS)
+        self._ctr_suppressed = metrics.counter(names.BUS_REMOTE_SUPPRESSED)
+        self._ctr_errors = metrics.counter(names.BUS_REMOTE_ERRORS)
 
     def deliver(self, events: Sequence) -> bool:
         """Send one batch; True if it was handed to the wire."""
@@ -137,9 +138,9 @@ class FanoutForwarder:
         self.to_args = to_args
         self.meter = meter
         metrics = orb.metrics
-        self._ctr_batches = metrics.counter("bus.remote.batches")
-        self._ctr_events = metrics.counter("bus.remote.events")
-        self._ctr_errors = metrics.counter("bus.remote.errors")
+        self._ctr_batches = metrics.counter(names.BUS_REMOTE_BATCHES)
+        self._ctr_events = metrics.counter(names.BUS_REMOTE_EVENTS)
+        self._ctr_errors = metrics.counter(names.BUS_REMOTE_ERRORS)
 
     def retarget(self, iors: Sequence[IOR]) -> None:
         """Re-aim the fan-out at a new sink set.

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.components.executor import ComponentExecutor, StatefulMixin
+from repro.sim.rng import derived_stream
 from repro.container.aggregation import (
     WORKER_IFACE,
     dumps_shard,
@@ -35,7 +36,7 @@ COST_PER_KSAMPLE = 1.0
 
 def count_hits(samples: int, seed: int) -> int:
     """How many of *samples* uniform points land inside the unit circle."""
-    rng = np.random.default_rng(seed)
+    rng = derived_stream("grid.count_hits", seed)
     xs = rng.random(samples)
     ys = rng.random(samples)
     return int(np.count_nonzero(xs * xs + ys * ys <= 1.0))

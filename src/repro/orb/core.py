@@ -24,6 +24,7 @@ from heapq import heappop, heappush
 from typing import Any as TAny
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro.obs import names
 from repro.orb import giop
 from repro.orb.cdr import CDRDecoder, CDREncoder, decode_value, encode_value
 from repro.orb.compiled import get_plan, op_codec
@@ -523,9 +524,9 @@ class ORB:
         self._client_interceptors: list[TAny] = []
         self._server_interceptors: list[TAny] = []
         # Hot-path counters resolved once instead of per call.
-        self._ctr_requests = self.metrics.counter("orb.requests")
-        self._ctr_replies = self.metrics.counter("orb.replies")
-        self._ctr_dispatches = self.metrics.counter("orb.dispatches")
+        self._ctr_requests = self.metrics.counter(names.ORB_REQUESTS)
+        self._ctr_replies = self.metrics.counter(names.ORB_REPLIES)
+        self._ctr_dispatches = self.metrics.counter(names.ORB_DISPATCHES)
         #: observability hub, set by repro.obs.Observability.install().
         self.obs = None
         self.host.on_crash.append(self._on_host_crash)
@@ -684,7 +685,7 @@ class ORB:
         enc.reset()
         self._release_encoder(enc)
         self._ctr_requests.inc()
-        self.metrics.counter("orb.oneways").inc()
+        self.metrics.counter(names.ORB_ONEWAYS).inc()
         if meter is not None:
             # Per-protocol bandwidth attribution (benchmarks rely on it).
             self.metrics.counter(f"{meter}.msgs").inc()
@@ -722,7 +723,7 @@ class ORB:
                 f"{odef.name} expects a response; use invoke() instead"
             )
         enc = self._marshal_args_pooled(odef, args)
-        ctr_oneways = self.metrics.counter("orb.oneways")
+        ctr_oneways = self.metrics.counter(names.ORB_ONEWAYS)
         pipelined = self.pipeline_window is not None
         total = 0
         for ior in iors:
@@ -797,8 +798,8 @@ class ORB:
             self.network.send(self.host_id, dst, "giop", wire, len(wire))
             return
         wire = giop.encode_multi(frames)
-        self.metrics.counter("orb.pipeline.flushes").inc()
-        self.metrics.counter("orb.pipeline.frames").inc(len(frames))
+        self.metrics.counter(names.ORB_PIPELINE_FLUSHES).inc()
+        self.metrics.counter(names.ORB_PIPELINE_FRAMES).inc(len(frames))
         self.network.send(self.host_id, dst, "giop", wire, len(wire),
                           frames=len(frames))
 
@@ -927,7 +928,7 @@ class ORB:
                 continue  # already answered
             self._watch_pending()
             event, _odef, _info = entry
-            self.metrics.counter("orb.timeouts").inc()
+            self.metrics.counter(names.ORB_TIMEOUTS).inc()
             event.fail(TIMEOUT(
                 f"no reply to {op_name} on {host_id} "
                 f"within {deadline}s"
@@ -961,13 +962,13 @@ class ORB:
             # both except arms below already count a bad message.
             decoded = giop._decode_message_body(msg.payload)
         except SystemException:
-            self.metrics.counter("orb.bad_messages").inc()
+            self.metrics.counter(names.ORB_BAD_MESSAGES).inc()
             return
         except Exception:
             # decode_message converts decoder errors to MARSHAL; this
             # is the last line of defence — a corrupted wire must never
             # crash the node's message handler.
-            self.metrics.counter("orb.bad_messages").inc()
+            self.metrics.counter(names.ORB_BAD_MESSAGES).inc()
             return
         if type(decoded) is giop.MultiMessage:
             # Unpack a pipelined transmission: every logical message
@@ -979,10 +980,10 @@ class ORB:
                 try:
                     sub = giop._decode_message_body(frame)
                 except Exception:
-                    self.metrics.counter("orb.bad_messages").inc()
+                    self.metrics.counter(names.ORB_BAD_MESSAGES).inc()
                     continue
                 if type(sub) is giop.MultiMessage:  # no nesting
-                    self.metrics.counter("orb.bad_messages").inc()
+                    self.metrics.counter(names.ORB_BAD_MESSAGES).inc()
                     continue
                 self._handle_decoded(sub, msg.src, len(frame))
             return
@@ -1015,7 +1016,7 @@ class ORB:
         silently (its sender expects no reply) but separately counted:
         bus-driven fan-out floods must stay visible to operators.
         """
-        self.metrics.counter("orb.shed").inc()
+        self.metrics.counter(names.ORB_SHED).inc()
         if request.response_expected:
             self._reply_system(client, request, TRANSIENT(
                 f"dispatch table full ({self.dispatch_limit}) "
@@ -1023,7 +1024,7 @@ class ORB:
                 minor=MINOR_SHED, completed=COMPLETED_NO,
             ))
         else:
-            self.metrics.counter("orb.shed.oneway").inc()
+            self.metrics.counter(names.ORB_SHED_ONEWAY).inc()
 
     # -- server side -------------------------------------------------------------
     def _dispatch(self, request: giop.RequestMessage, client: str,
@@ -1184,7 +1185,7 @@ class ORB:
             if request.response_expected:
                 self._reply_system(client, request, exc, info)
         else:  # servant bug -> UNKNOWN, as CORBA mandates
-            self.metrics.counter("orb.servant_errors").inc()
+            self.metrics.counter(names.ORB_SERVANT_ERRORS).inc()
             if info is not None:
                 info.exception = exc
             if request.response_expected:
@@ -1342,7 +1343,7 @@ class ORB:
     def _complete(self, reply: giop.ReplyMessage, wire_size: int = 0) -> None:
         entry = self._pending.pop(reply.request_id, None)
         if entry is None:
-            self.metrics.counter("orb.late_replies").inc()
+            self.metrics.counter(names.ORB_LATE_REPLIES).inc()
             return
         if self.pending_watchers:
             self._watch_pending()

@@ -14,6 +14,7 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.sim.rng import derived_stream
 from repro.util.errors import ConfigurationError
 
 
@@ -73,7 +74,7 @@ def synthetic_payload(size: int, seed: int = 0,
             f"compressibility must be in [0,1], got {compressibility}"
         )
     n_random = int(size * (1.0 - compressibility))
-    rng = np.random.default_rng(seed)
+    rng = derived_stream("packaging.synthetic_payload", seed)
     random_part = rng.integers(0, 256, size=n_random, dtype=np.uint8).tobytes()
     return random_part + b"\x2a" * (size - n_random)
 

@@ -18,6 +18,7 @@ stopped carrying lookups.
 
 from __future__ import annotations
 
+from repro.obs import names
 from repro.orb.exceptions import SystemException, TRANSIENT
 from repro.registry.queries import FloodResolver, ResolverBase
 from repro.registry.federation.shard import SHARD_IFACE, shard_ior
@@ -54,7 +55,7 @@ class FederatedResolver(ResolverBase):
                 break
             if host in extras:
                 node.metrics.counter(
-                    "federation.lookup.ring_fallback").inc()
+                    names.FEDERATION_LOOKUP_RING_FALLBACK).inc()
             try:
                 values = yield node.orb.invoke(
                     shard_ior(host), _LOOKUP,
@@ -63,7 +64,7 @@ class FederatedResolver(ResolverBase):
                     timeout=self.fed_config.query_timeout,
                     meter="federation.lookup")
             except SystemException:
-                node.metrics.counter("federation.lookup.failover").inc()
+                node.metrics.counter(names.FEDERATION_LOOKUP_FAILOVER).inc()
                 continue
             if values:
                 from repro.registry.view import Candidate
@@ -79,7 +80,7 @@ class FederatedResolver(ResolverBase):
             # population directly, like the pre-ring flood protocol
             # did.  Expensive, but correct — a registry outage must
             # not make running providers unresolvable.
-            node.metrics.counter("federation.lookup.flood_fallback").inc()
+            node.metrics.counter(names.FEDERATION_LOOKUP_FLOOD_FALLBACK).inc()
             return (yield from self._flood_find(repo_id, qos))
         return []
 

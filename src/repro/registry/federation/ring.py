@@ -155,7 +155,7 @@ class ShardRing:
 
     def load_split(self, keys: list[str]) -> dict[str, int]:
         """How many of *keys* each host primarily owns (diagnostics)."""
-        split: dict[str, int] = {host: 0 for host in self._hosts}
+        split: dict[str, int] = {host: 0 for host in self.hosts()}
         for key in keys:
             split[self.primary(key)] += 1
         return split

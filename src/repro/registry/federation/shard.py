@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional, Sequence
 
+from repro.obs import names
 from repro.orb.core import InterfaceDef, Servant, op
 from repro.orb.ior import IOR
 from repro.orb.typecodes import (
@@ -270,7 +271,7 @@ class ShardAgent:
             # Beacon-only heartbeat round.
             self._bus.publish(GOSSIP_TOPIC, None)
         self._sub.flush()
-        self.node.metrics.counter("federation.rounds").inc()
+        self.node.metrics.counter(names.FEDERATION_ROUNDS).inc()
 
     # -- state merging ------------------------------------------------------
     def _owns(self, repo_id: str) -> bool:
@@ -291,7 +292,7 @@ class ShardAgent:
         limit = now + self.config.epoch_tolerance
         if epoch <= limit:
             return epoch
-        self.node.metrics.counter("federation.epoch_clamped").inc()
+        self.node.metrics.counter(names.FEDERATION_EPOCH_CLAMPED).inc()
         return limit
 
     def _known_host(self, host: str) -> bool:
@@ -307,7 +308,7 @@ class ShardAgent:
         """
         if host in self.node.network.topology:
             return True
-        self.node.metrics.counter("federation.rejected.unknown_host").inc()
+        self.node.metrics.counter(names.FEDERATION_REJECTED_UNKNOWN_HOST).inc()
         return False
 
     def accept_publish(self, origin: str, epoch: float,

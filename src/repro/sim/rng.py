@@ -14,6 +14,23 @@ import zlib
 import numpy as np
 
 
+def derived_stream(name: str, seed: int) -> np.random.Generator:
+    """A fresh generator derived from (*name*, *seed*).
+
+    The sanctioned construction path for seed-parameterized pure
+    functions that live outside any registry (e.g. a worker shard that
+    receives its seed over the wire): the same (name, seed) pair always
+    yields an identical sequence, and distinct names never collide even
+    for equal seeds.  Registry streams use the same derivation, so a
+    ``derived_stream(n, s)`` matches ``RngRegistry(s).stream(n)``.
+    """
+    # crc32 gives a stable 32-bit digest of the name; spawning from
+    # SeedSequence(seed, digest) keeps streams independent.
+    digest = zlib.crc32(name.encode("utf-8"))
+    seq = np.random.SeedSequence(entropy=int(seed), spawn_key=(digest,))
+    return np.random.default_rng(seq)
+
+
 class RngRegistry:
     """Factory for named random streams derived from one root seed."""
 
@@ -33,11 +50,7 @@ class RngRegistry:
         """
         gen = self._streams.get(name)
         if gen is None:
-            # crc32 gives a stable 32-bit digest of the name; spawning from
-            # SeedSequence(root, digest) keeps streams independent.
-            digest = zlib.crc32(name.encode("utf-8"))
-            seq = np.random.SeedSequence(entropy=self._seed, spawn_key=(digest,))
-            gen = np.random.default_rng(seq)
+            gen = derived_stream(name, self._seed)
             self._streams[name] = gen
         return gen
 

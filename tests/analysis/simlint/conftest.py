@@ -1,0 +1,29 @@
+"""Shared helpers for the simlint rule-family tests."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.simlint import SourceFile, lint_sources
+
+
+def _lint_snippet(code, path="pkg/mod.py", config=None):
+    """Lint one dedented source string; returns the findings list."""
+    source = SourceFile.parse(path, textwrap.dedent(code))
+    return list(lint_sources([source], config=config))
+
+
+def _codes(findings):
+    return sorted(f.code for f in findings)
+
+
+@pytest.fixture
+def lint():
+    """``lint(code, path=..., config=...) -> [Finding, ...]``."""
+    return _lint_snippet
+
+
+@pytest.fixture
+def codes():
+    """``codes(findings) -> sorted list of finding codes``."""
+    return _codes

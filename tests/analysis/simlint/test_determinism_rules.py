@@ -1,0 +1,160 @@
+"""SIM001-SIM004: determinism rule family."""
+
+from repro.util.diagnostics import Severity
+
+
+class TestStdlibRandom:
+    def test_import_random_flagged(self, lint, codes):
+        assert codes(lint("import random\n")) == ["SIM001"]
+
+    def test_from_random_import_flagged(self, lint, codes):
+        assert codes(lint("from random import choice\n")) == ["SIM001"]
+
+    def test_other_imports_clean(self, lint):
+        assert lint("import json\nfrom math import pi\n") == []
+
+
+class TestWallClock:
+    def test_time_time_flagged(self, lint, codes):
+        findings = lint("""
+            import time
+            def stamp():
+                return time.time()
+        """)
+        assert codes(findings) == ["SIM002"]
+
+    def test_alias_resolution(self, lint, codes):
+        findings = lint("""
+            from time import monotonic as clock
+            def stamp():
+                return clock()
+        """)
+        assert codes(findings) == ["SIM002"]
+
+    def test_uuid4_and_urandom_flagged(self, lint, codes):
+        findings = lint("""
+            import os, uuid
+            def ident():
+                return uuid.uuid4(), os.urandom(8)
+        """)
+        assert codes(findings) == ["SIM002", "SIM002"]
+
+    def test_env_now_clean(self, lint):
+        findings = lint("""
+            def stamp(env):
+                return env.now
+        """)
+        assert findings == []
+
+
+class TestRngConstruction:
+    def test_default_rng_flagged(self, lint, codes):
+        findings = lint("""
+            import numpy as np
+            def draw():
+                return np.random.default_rng(3).random()
+        """)
+        assert codes(findings) == ["SIM003"]
+
+    def test_global_numpy_draw_flagged(self, lint, codes):
+        findings = lint("""
+            import numpy as np
+            def draw():
+                return np.random.uniform()
+        """)
+        assert codes(findings) == ["SIM003"]
+
+    def test_rng_module_is_exempt(self, lint):
+        findings = lint("""
+            import numpy as np
+            def make(seed):
+                return np.random.default_rng(seed)
+        """, path="src/repro/sim/rng.py")
+        assert findings == []
+
+    def test_stream_use_clean(self, lint):
+        findings = lint("""
+            def draw(rngs):
+                return rngs.stream("pkg.draws").random()
+        """)
+        assert findings == []
+
+
+class TestSetIteration:
+    def test_for_over_set_literal_flagged(self, lint, codes):
+        findings = lint("""
+            def walk():
+                for x in {1, 2, 3}:
+                    print(x)
+        """)
+        assert codes(findings) == ["SIM004"]
+
+    def test_for_over_tracked_set_name_flagged(self, lint, codes):
+        findings = lint("""
+            def walk(items):
+                pending = set(items)
+                for x in pending:
+                    print(x)
+        """)
+        assert codes(findings) == ["SIM004"]
+
+    def test_sorted_set_is_clean(self, lint):
+        findings = lint("""
+            def walk(items):
+                pending = set(items)
+                for x in sorted(pending):
+                    print(x)
+        """)
+        assert findings == []
+
+    def test_list_materialization_flagged(self, lint, codes):
+        findings = lint("""
+            def snap(items):
+                pending = set(items)
+                return list(pending)
+        """)
+        assert codes(findings) == ["SIM004"]
+
+    def test_order_insensitive_reduction_clean(self, lint):
+        findings = lint("""
+            def total(items):
+                pending = set(items)
+                return sum(pending), len(pending), max(pending)
+        """)
+        assert findings == []
+
+    def test_comprehension_feeding_sorted_is_blessed(self, lint):
+        findings = lint("""
+            def snap(items):
+                pending = set(items)
+                return sorted(x + 1 for x in pending)
+        """)
+        assert findings == []
+
+    def test_self_attribute_set_flagged(self, lint, codes):
+        findings = lint("""
+            class Ring:
+                def __init__(self):
+                    self.hosts = set()
+                def dump(self):
+                    return [h for h in self.hosts]
+        """)
+        assert codes(findings) == ["SIM004"]
+
+    def test_set_algebra_stays_a_set(self, lint, codes):
+        findings = lint("""
+            def diff(items, gone):
+                a = set(items)
+                b = set(gone)
+                for x in a - b:
+                    print(x)
+        """)
+        assert codes(findings) == ["SIM004"]
+
+    def test_severity_is_warning(self, lint):
+        findings = lint("""
+            def walk():
+                for x in {1, 2}:
+                    print(x)
+        """)
+        assert findings[0].severity == Severity.WARNING

@@ -1,0 +1,127 @@
+"""SIM020/SIM021: paired-effect rule family."""
+
+from repro.analysis.simlint import SimlintConfig
+
+#: treat the snippet's path as the chaos action module.
+ACTION_CONFIG = SimlintConfig(action_modules=("pkg/mod.py",))
+
+
+class TestFaultInstallers:
+    def test_installer_without_revert_flagged(self, lint, codes):
+        findings = lint("""
+            def act_kill(world, rng):
+                host = pick(world, rng)
+                host.crash()
+                return host, None, "killed"
+        """, config=ACTION_CONFIG)
+        assert codes(findings) == ["SIM020"]
+
+    def test_installer_with_revert_clean(self, lint):
+        findings = lint("""
+            def act_kill(world, rng):
+                host = pick(world, rng)
+                host.crash()
+                def revert():
+                    host.recover()
+                return host, revert, "killed"
+        """, config=ACTION_CONFIG)
+        assert findings == []
+
+    def test_return_dropping_revert_flagged(self, lint, codes):
+        findings = lint("""
+            def act_kill(world, rng):
+                host = pick(world, rng)
+                def revert():
+                    host.recover()
+                if host is None:
+                    return None
+                host.crash()
+                return host, noop, "killed"
+        """, config=ACTION_CONFIG)
+        assert codes(findings) == ["SIM020"]
+
+    def test_skip_return_none_is_allowed(self, lint):
+        findings = lint("""
+            def act_kill(world, rng):
+                host = pick(world, rng)
+                if host is None:
+                    return None
+                host.crash()
+                def revert():
+                    host.recover()
+                return host, revert, "killed"
+        """, config=ACTION_CONFIG)
+        assert findings == []
+
+    def test_non_action_function_ignored(self, lint):
+        findings = lint("""
+            def helper(world):
+                return world.hosts[0], None, "peek"
+        """, config=ACTION_CONFIG)
+        assert findings == []
+
+    def test_non_action_module_ignored(self, lint):
+        findings = lint("""
+            def act_kill(world, rng):
+                return world, None, "no revert, but not an action module"
+        """)
+        assert findings == []
+
+
+class TestStagedMembership:
+    def test_stage_without_rebalance_flagged(self, lint, codes):
+        findings = lint("""
+            def grow(ring, host):
+                ring.stage_add(host)
+                return ring
+        """)
+        assert codes(findings) == ["SIM021"]
+
+    def test_stage_then_rebalance_clean(self, lint):
+        findings = lint("""
+            def grow(ring, host):
+                ring.stage_add(host)
+                return ring.rebalance()
+        """)
+        assert findings == []
+
+    def test_one_branch_missing_settle_flagged(self, lint, codes):
+        findings = lint("""
+            def churn(ring, host, apply_now):
+                ring.stage_remove(host)
+                if apply_now:
+                    ring.rebalance()
+                return ring
+        """)
+        assert codes(findings) == ["SIM021"]
+
+    def test_both_branches_settled_clean(self, lint):
+        findings = lint("""
+            def churn(ring, host, apply_now):
+                ring.stage_remove(host)
+                if apply_now:
+                    ring.rebalance()
+                else:
+                    ring.cancel_staged()
+                return ring
+        """)
+        assert findings == []
+
+    def test_raising_path_is_exempt(self, lint):
+        findings = lint("""
+            def grow(ring, host):
+                ring.stage_add(host)
+                if not valid(host):
+                    raise ValueError(host)
+                return ring.rebalance()
+        """)
+        assert findings == []
+
+    def test_settle_after_loop_clears_staging_inside_it(self, lint):
+        findings = lint("""
+            def grow_all(ring, hosts):
+                for host in hosts:
+                    ring.stage_add(host)
+                return ring.rebalance()
+        """)
+        assert findings == []

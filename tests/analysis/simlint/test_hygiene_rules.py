@@ -1,0 +1,84 @@
+"""SIM030/SIM031: metric and span name hygiene."""
+
+from repro.obs import names
+
+
+class TestDeclaredRegistry:
+    def test_exact_and_pattern_matching(self):
+        assert names.metric_declared("orb.requests")
+        assert names.metric_declared("chaos.action.kill_host")
+        assert names.metric_declared("chaos.action.*")
+        assert not names.metric_declared("orb.requets")
+        assert names.span_declared("supervisor.promote")
+        assert names.span_declared("serve:ping")
+        assert not names.span_declared("totally.unknown")
+
+
+class TestMetricLiterals:
+    def test_undeclared_literal_flagged(self, lint, codes):
+        findings = lint("""
+            def tick(metrics):
+                metrics.counter("supervisor.recoverys").inc()
+        """)
+        assert codes(findings) == ["SIM030"]
+
+    def test_declared_literal_clean(self, lint):
+        findings = lint("""
+            def tick(metrics):
+                metrics.counter("supervisor.recoveries").inc()
+        """)
+        assert findings == []
+
+    def test_declared_fstring_family_clean(self, lint):
+        findings = lint("""
+            def tick(metrics, kind):
+                metrics.counter(f"chaos.action.{kind}").inc()
+        """)
+        assert findings == []
+
+    def test_undeclared_fstring_family_flagged(self, lint, codes):
+        findings = lint("""
+            def tick(metrics, kind):
+                metrics.counter(f"mystery.{kind}").inc()
+        """)
+        assert codes(findings) == ["SIM030"]
+
+    def test_constant_reference_accepted(self, lint):
+        findings = lint("""
+            from repro.obs import names
+            def tick(metrics):
+                metrics.counter(names.SUPERVISOR_RECOVERIES).inc()
+        """)
+        assert findings == []
+
+    def test_fully_dynamic_name_out_of_scope(self, lint):
+        findings = lint("""
+            def tick(metrics, name):
+                metrics.counter(f"{name}").inc()
+        """)
+        assert findings == []
+
+    def test_exempt_module_skipped(self, lint):
+        findings = lint("""
+            def counter(self, name):
+                return self._counters.setdefault(name, Counter(name))
+        """, path="src/repro/sim/stats.py")
+        assert findings == []
+
+
+class TestSpanLabels:
+    def test_undeclared_span_flagged(self, lint, codes):
+        findings = lint("""
+            def tick(obs):
+                with obs.span("supervisor.promot"):
+                    pass
+        """)
+        assert codes(findings) == ["SIM031"]
+
+    def test_declared_span_family_clean(self, lint):
+        findings = lint("""
+            def tick(obs, op):
+                with obs.span(f"serve:{op}"):
+                    pass
+        """)
+        assert findings == []

@@ -1,0 +1,172 @@
+"""SIM010-SIM013: control-loop safety rule family."""
+
+from repro.analysis.simlint import SimlintConfig
+from repro.util.diagnostics import Severity
+
+#: treat the snippet's path as a designated control-loop module.
+LOOP_CONFIG = SimlintConfig(control_loop_modules=("pkg/mod.py",))
+
+
+class TestBareExcept:
+    def test_bare_except_flagged_anywhere(self, lint, codes):
+        findings = lint("""
+            def once():
+                try:
+                    risky()
+                except:
+                    pass
+        """)
+        assert codes(findings) == ["SIM010"]
+
+    def test_named_except_clean(self, lint):
+        findings = lint("""
+            def once():
+                try:
+                    risky()
+                except ValueError:
+                    pass
+        """)
+        assert findings == []
+
+
+class TestBroadExceptInGeneratorLoop:
+    def test_swallowing_handler_flagged(self, lint, codes):
+        findings = lint("""
+            def loop(env):
+                while True:
+                    try:
+                        step()
+                    except Exception:
+                        pass
+                    yield env.timeout(1.0)
+        """)
+        assert "SIM011" in codes(findings)
+
+    def test_interrupt_clause_before_broad_is_clean(self, lint, codes):
+        findings = lint("""
+            def loop(env):
+                while True:
+                    try:
+                        step()
+                    except Interrupt:
+                        raise
+                    except Exception:
+                        pass
+                    yield env.timeout(1.0)
+        """)
+        assert "SIM011" not in codes(findings)
+
+    def test_interrupt_clause_after_broad_still_flagged(self, lint,
+                                                        codes):
+        # except Exception first catches Interrupt too: order matters.
+        findings = lint("""
+            def loop(env):
+                while True:
+                    try:
+                        step()
+                    except Exception:
+                        pass
+                    except Interrupt:
+                        raise
+                    yield env.timeout(1.0)
+        """)
+        assert "SIM011" in codes(findings)
+
+    def test_reraising_handler_is_clean(self, lint, codes):
+        findings = lint("""
+            def loop(env):
+                while True:
+                    try:
+                        step()
+                    except Exception as exc:
+                        if fatal(exc):
+                            raise
+                    yield env.timeout(1.0)
+        """)
+        assert "SIM011" not in codes(findings)
+
+    def test_non_generator_function_ignored(self, lint, codes):
+        findings = lint("""
+            def once():
+                for item in [1, 2]:
+                    try:
+                        step(item)
+                    except Exception:
+                        pass
+        """)
+        assert "SIM011" not in codes(findings)
+
+
+class TestUnguardedDecode:
+    def test_unguarded_decode_in_control_loop_flagged(self, lint, codes):
+        findings = lint("""
+            def loop(env, peer):
+                while True:
+                    reply = peer.call()
+                    state = loads_state(reply)
+                    apply(state)
+                    yield env.timeout(1.0)
+        """, config=LOOP_CONFIG)
+        assert "SIM012" in codes(findings)
+
+    def test_try_wrapped_decode_is_clean(self, lint, codes):
+        findings = lint("""
+            def loop(env, peer):
+                while True:
+                    reply = peer.call()
+                    try:
+                        state = loads_state(reply)
+                    except StateDecodeError:
+                        continue
+                    apply(state)
+                    yield env.timeout(1.0)
+        """, config=LOOP_CONFIG)
+        assert "SIM012" not in codes(findings)
+
+    def test_decode_in_handler_body_not_guarded(self, lint, codes):
+        # only the try *body* is protected; decoding inside the
+        # handler itself can still escape the iteration.
+        findings = lint("""
+            def loop(env, peer):
+                while True:
+                    try:
+                        fast_path()
+                    except CacheMiss:
+                        state = loads_state(peer.call())
+                    yield env.timeout(1.0)
+        """, config=LOOP_CONFIG)
+        assert "SIM012" in codes(findings)
+
+    def test_non_control_module_ignored(self, lint, codes):
+        findings = lint("""
+            def loop(env, peer):
+                while True:
+                    state = loads_state(peer.call())
+                    yield env.timeout(1.0)
+        """)
+        assert "SIM012" not in codes(findings)
+
+
+class TestInterruptHandling:
+    def test_perpetual_loop_without_interrupt_warned(self, lint):
+        findings = lint("""
+            def loop(env):
+                while True:
+                    step()
+                    yield env.timeout(1.0)
+        """, config=LOOP_CONFIG)
+        sim013 = [f for f in findings if f.code == "SIM013"]
+        assert len(sim013) == 1
+        assert sim013[0].severity == Severity.WARNING
+
+    def test_handled_interrupt_is_clean(self, lint, codes):
+        findings = lint("""
+            def loop(env):
+                try:
+                    while True:
+                        step()
+                        yield env.timeout(1.0)
+                except Interrupt:
+                    pass
+        """, config=LOOP_CONFIG)
+        assert "SIM013" not in codes(findings)

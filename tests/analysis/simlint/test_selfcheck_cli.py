@@ -1,0 +1,85 @@
+"""The tree is clean, and the CLI front end holds the gate."""
+
+import json
+from pathlib import Path
+
+from repro.analysis.simlint import Baseline, lint_paths
+from repro.tools import simlint as cli
+from repro.util.diagnostics import Severity
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+SRC = REPO_ROOT / "src" / "repro"
+BASELINE = REPO_ROOT / "simlint-baseline.json"
+
+
+class TestTreeSelfCheck:
+    def test_src_repro_is_clean_at_default_severity(self):
+        diag = lint_paths([str(SRC)], root=str(REPO_ROOT))
+        remaining = Baseline.load(BASELINE).apply(diag)
+        gated = [f for f in remaining if f.severity >= Severity.WARNING]
+        assert gated == [], "\n" + remaining.render_text()
+
+    def test_baseline_entries_all_still_match(self):
+        """Every checked-in grandfathered entry still matches a real
+        finding — otherwise it is stale and must be deleted."""
+        diag = lint_paths([str(SRC)], root=str(REPO_ROOT))
+        remaining = Baseline.load(BASELINE).apply(diag)
+        stale = [f for f in remaining if f.code == "SIM090"]
+        assert stale == [], "\n" + remaining.render_text()
+
+    def test_baseline_reasons_are_documented(self):
+        for entry in Baseline.load(BASELINE).entries:
+            assert entry.reason.strip(), \
+                f"baseline entry for {entry.path} has no reason"
+
+
+class TestCli:
+    def test_rules_catalog(self, capsys):
+        assert cli.main(["--rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("SIM001", "SIM004", "SIM011", "SIM012", "SIM020",
+                     "SIM021", "SIM030", "SIM031"):
+            assert code in out
+
+    def test_error_exit_code_and_json(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        status = cli.main([str(bad), "--no-baseline",
+                           "--format", "json"])
+        assert status == int(Severity.ERROR)
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["code"] for f in payload["findings"]] == ["SIM001"]
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        good = tmp_path / "good.py"
+        good.write_text("import json\n")
+        assert cli.main([str(good), "--no-baseline"]) == 0
+
+    def test_fail_on_error_ignores_warnings(self, tmp_path, capsys):
+        warny = tmp_path / "warny.py"
+        warny.write_text(
+            "def walk():\n"
+            "    for x in {1, 2}:\n"
+            "        print(x)\n")
+        assert cli.main([str(warny), "--no-baseline"]) == \
+            int(Severity.WARNING)
+        capsys.readouterr()
+        assert cli.main([str(warny), "--no-baseline",
+                         "--fail-on", "error"]) == 0
+
+    def test_write_then_apply_baseline(self, tmp_path, capsys,
+                                       monkeypatch):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\n")
+        baseline = tmp_path / "baseline.json"
+        assert cli.main([str(bad), "--baseline", str(baseline),
+                         "--write-baseline"]) == 0
+        capsys.readouterr()
+        assert cli.main([str(bad), "--baseline", str(baseline)]) == 0
+
+    def test_unparsable_file_reported(self, tmp_path, capsys):
+        mangled = tmp_path / "mangled.py"
+        mangled.write_text("def broken(:\n")
+        status = cli.main([str(mangled), "--no-baseline"])
+        assert status == int(Severity.ERROR)
+        assert "SIM000" in capsys.readouterr().out

@@ -1,0 +1,53 @@
+"""Chaos replay digests must not depend on PYTHONHASHSEED.
+
+A campaign report is its own reproducer (PR-9), but that contract is
+only as strong as the weakest iteration order in the stack: one
+``for x in some_set`` on a hot path and two *processes* with different
+hash seeds produce different reports from the same seed.  The SIM004
+rule hunts those statically; this test closes the loop end to end by
+running the same campaign in two fresh interpreters with different
+``PYTHONHASHSEED`` values and demanding byte-identical reports.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def _run_campaign(tmp_path, hashseed, seed=11, horizon=12.0):
+    out = tmp_path / f"report-hashseed{hashseed}.json"
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = str(hashseed)
+    env["PYTHONPATH"] = str(SRC)
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.tools.chaos",
+         "--seed", str(seed), "--horizon", str(horizon),
+         "--json", str(out)],
+        env=env, capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    return out.read_bytes()
+
+
+class TestCrossProcessDigest:
+    def test_reports_byte_identical_across_hash_seeds(self, tmp_path):
+        first = _run_campaign(tmp_path, hashseed=1)
+        second = _run_campaign(tmp_path, hashseed=2)
+        assert first == second, (
+            "chaos report differs between PYTHONHASHSEED=1 and =2: "
+            "some code path observes set/dict hash order")
+
+    def test_digest_matches_in_process_run(self, tmp_path):
+        """The subprocess report replays in *this* process too."""
+        from repro.chaos import (
+            CampaignConfig, ChaosReport, run_campaign,
+        )
+        saved = ChaosReport.from_dict(
+            json.loads(_run_campaign(tmp_path, hashseed=5)))
+        local = run_campaign(
+            saved.seed, config=CampaignConfig(horizon=saved.horizon))
+        assert local.digest() == saved.digest()

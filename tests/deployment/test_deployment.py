@@ -102,6 +102,21 @@ class TestOtherPlanners:
             assembly(6), views, QOS)
         assert p1 == p2
 
+    def test_random_planner_from_registry_deterministic(self):
+        from repro.sim.rng import RngRegistry
+        views = [snap("a"), snap("b"), snap("c")]
+        p1 = RandomPlanner(RngRegistry(9)).plan(assembly(6), views, QOS)
+        p2 = RandomPlanner(RngRegistry(9)).plan(assembly(6), views, QOS)
+        assert p1 == p2
+
+    def test_random_planner_registry_uses_named_stream(self):
+        from repro.sim.rng import RngRegistry, derived_stream
+        views = [snap("a"), snap("b"), snap("c")]
+        p1 = RandomPlanner(RngRegistry(9)).plan(assembly(6), views, QOS)
+        p2 = RandomPlanner(derived_stream(
+            RandomPlanner.STREAM, 9)).plan(assembly(6), views, QOS)
+        assert p1 == p2  # registry path == explicit stream derivation
+
     def test_round_robin_cycles(self):
         views = [snap("a"), snap("b")]
         plan = RoundRobinPlanner().plan(assembly(4), views, QOS)

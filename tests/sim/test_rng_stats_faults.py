@@ -5,7 +5,7 @@ import pytest
 
 from repro.sim.faults import ChurnModel, FaultInjector
 from repro.sim.kernel import Environment
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, derived_stream
 from repro.sim.stats import Counter, MetricRegistry, TimeSeries
 from repro.sim.topology import line, star
 
@@ -33,6 +33,19 @@ class TestRng:
     def test_stream_is_cached(self):
         reg = RngRegistry(0)
         assert reg.stream("s") is reg.stream("s")
+
+    def test_derived_stream_matches_registry(self):
+        a = derived_stream("x", 42).random(10)
+        b = RngRegistry(42).stream("x").random(10)
+        assert np.allclose(a, b)
+
+    def test_derived_stream_reproducible(self):
+        assert np.allclose(derived_stream("grid.count_hits", 3).random(8),
+                           derived_stream("grid.count_hits", 3).random(8))
+
+    def test_derived_stream_names_independent(self):
+        assert not np.allclose(derived_stream("x", 3).random(8),
+                               derived_stream("y", 3).random(8))
 
     def test_fork_differs_from_parent(self):
         reg = RngRegistry(5)
